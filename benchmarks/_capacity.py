@@ -1,0 +1,40 @@
+"""Shared driver for the finite-capacity figures (paper Figures 4-8).
+
+Each of the five unstructured applications gets a full cache-size ×
+cluster-size grid, normalized per cache size exactly as in the paper.
+The figure-specific benchmark files are thin wrappers over
+:func:`run_capacity_figure`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import figure_from_capacity_sweep, render_rows
+from repro.core.study import ClusteringStudy
+
+from _support import app_kwargs, current_scale, machine
+
+CLUSTERS = (1, 2, 4, 8)
+CACHE_SIZES = (4, 16, 32, None)
+QUICK_CACHE_SIZES = (1, 4, None)
+
+
+def run_capacity_figure(benchmark, emit, fignum: int, app: str):
+    """Run one finite-capacity figure and emit the paper-format rows."""
+    caches = QUICK_CACHE_SIZES if current_scale() == "quick" else CACHE_SIZES
+    study = ClusteringStudy(app, machine(), app_kwargs(app))
+
+    def run():
+        return study.capacity_sweep(caches, CLUSTERS)
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    fig = figure_from_capacity_sweep(
+        f"Figure {fignum}: finite capacity effects for {app} "
+        f"(per-processor caches {', '.join(str(c) for c in caches)} KB)",
+        sweep)
+    emit(f"fig{fignum}_{app}", render_rows(fig))
+    for group in fig.groups:
+        # each cache-size group is normalized to its own 1p bar
+        assert abs(group.bars[0].total - 100.0) < 1e-6
+    benchmark.extra_info["totals"] = {
+        g.label: [round(b.total, 1) for b in g.bars] for g in fig.groups}
+    return fig

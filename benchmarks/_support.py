@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness (scale + machine selection).
+
+See ``benchmarks/conftest.py`` for the fixtures and the description of the
+``REPRO_BENCH_SCALE`` knob.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.config import MachineConfig
+
+#: problem-size overrides per scale; "PAPER" = registry PAPER_PROBLEM_SIZES
+SCALE_OVERRIDES: dict[str, dict | str] = {
+    "quick": {
+        "barnes": {"n_particles": 512, "n_steps": 1},
+        "fft": {"n_points": 16384},
+        "fmm": {"n_particles": 512, "levels": 3, "n_steps": 1},
+        "lu": {"n": 128, "block": 16},
+        "mp3d": {"n_particles": 8000, "n_steps": 2},
+        "ocean": {"n": 64, "n_vcycles": 2},
+        "radix": {"n_keys": 32768, "radix": 128},
+        "raytrace": {"width": 32, "height": 32, "n_spheres": 32},
+        "volrend": {"volume_side": 32, "width": 64, "height": 64},
+    },
+    "default": {},
+    "paper": "PAPER",
+}
+
+
+def current_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "default")
+    if scale not in SCALE_OVERRIDES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of "
+                         f"{sorted(SCALE_OVERRIDES)}, got {scale!r}")
+    return scale
+
+
+def app_kwargs(app: str) -> dict:
+    table = SCALE_OVERRIDES[current_scale()]
+    if table == "PAPER":
+        from repro.apps.registry import PAPER_PROBLEM_SIZES
+        return dict(PAPER_PROBLEM_SIZES.get(app, {}))
+    return dict(table.get(app, {}))
+
+
+def machine() -> MachineConfig:
+    n = 16 if current_scale() == "quick" else 64
+    return MachineConfig(n_processors=n)

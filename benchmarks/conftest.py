@@ -1,0 +1,45 @@
+"""Benchmark-harness fixtures: result capture for reproduced artifacts.
+
+Every benchmark regenerates one of the paper's tables or figures and writes
+the paper-format text into ``benchmarks/results/<name>.txt`` (also attached
+to the pytest-benchmark ``extra_info``), so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the complete set of
+reproduced artifacts on disk for EXPERIMENTS.md.
+
+Scale control — set ``REPRO_BENCH_SCALE``:
+
+* ``quick``   — minutes-scale smoke numbers (small problems, 16 processors);
+* ``default`` — the library's default problem sizes on the paper's
+  64-processor machine (the EXPERIMENTS.md numbers; ~45-60 min total);
+* ``paper``   — the paper's Table 2 problem sizes where feasible (slow).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))  # make _support importable
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir, capsys):
+    """Write a reproduced artifact to disk and echo it to the terminal."""
+
+    def _emit(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n[written to {path}]")
+
+    return _emit

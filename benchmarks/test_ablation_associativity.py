@@ -1,0 +1,48 @@
+"""E-X1 — ablation: destructive interference under limited associativity.
+
+The paper simulates fully associative caches to exclude conflict misses and
+names limited associativity as the follow-on question (§7): shared caches
+suffer *destructive interference* when cluster-mates' reference streams
+conflict-map onto the same sets.  This ablation runs the same
+clustered-cache experiment at direct-mapped / 4-way / fully associative and
+reports how much of the clustering benefit survives.
+"""
+
+from repro.core.study import ClusteringStudy
+
+from _support import app_kwargs, current_scale, machine
+
+ASSOCS = (1, 4, None)  # direct-mapped, 4-way, fully associative
+APPS = ("barnes", "ocean", "lu")
+
+
+def test_ablation_associativity(benchmark, emit):
+    config = machine()
+    cache_kb = 2 if current_scale() == "quick" else 4
+
+    def run():
+        out = {}
+        for app in APPS:
+            for assoc in ASSOCS:
+                cfg = config.with_associativity(assoc)
+                study = ClusteringStudy(app, cfg, app_kwargs(app))
+                sweep = study.cluster_sweep(cache_kb, (1, 8))
+                out[(app, assoc)] = {c: p.execution_time
+                                     for c, p in sweep.items()}
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"Ablation: associativity vs clustering benefit "
+             f"({cache_kb} KB/processor)",
+             f"{'app':>8} {'assoc':>8} {'T(1p)':>12} {'T(8p)':>12} "
+             f"{'8p/1p':>7}"]
+    for app in APPS:
+        for assoc in ASSOCS:
+            t = res[(app, assoc)]
+            label = "full" if assoc is None else f"{assoc}-way"
+            lines.append(f"{app:>8} {label:>8} {t[1]:>12,} {t[8]:>12,} "
+                         f"{t[8] / t[1]:7.3f}")
+    emit("ablation_associativity", "\n".join(lines))
+    for app in APPS:
+        # limited associativity can only add misses (never remove them)
+        assert res[(app, 1)][8] >= res[(app, None)][8] * 0.98

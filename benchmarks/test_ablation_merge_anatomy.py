@@ -1,0 +1,44 @@
+"""E-X3 — ablation: prefetch/merge anatomy for LU and Radix (paper §4).
+
+The paper's LU discussion: at 2-way clustering "load stall time is reduced
+by more than a factor of two.  However, most of this time is replaced by
+merge stall time" — prefetches from cluster mates arrive, but too late.
+This ablation decomposes load vs merge stall per cluster size for the two
+applications where the effect is visible (LU's diagonal blocks, Radix's
+shared histograms).
+"""
+
+from repro.analysis import merge_anatomy
+from repro.core.study import ClusteringStudy
+
+from _support import app_kwargs, machine
+
+APPS = ("lu", "radix")
+CLUSTERS = (1, 2, 4, 8)
+
+
+def test_ablation_merge_anatomy(benchmark, emit):
+    config = machine()
+
+    def run():
+        out = {}
+        for app in APPS:
+            study = ClusteringStudy(app, config, app_kwargs(app))
+            out[app] = merge_anatomy(study.cluster_sweep(None, CLUSTERS))
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: load vs merge stall per cluster size (inf caches)",
+             f"{'app':>6} {'cluster':>8} {'load':>12} {'merge':>12} "
+             f"{'load+merge':>12}"]
+    for app in APPS:
+        for c in CLUSTERS:
+            row = res[app][c]
+            lines.append(f"{app:>6} {c:>7}p {row['load']:>12,.0f} "
+                         f"{row['merge']:>12,.0f} "
+                         f"{row['load_plus_merge']:>12,.0f}")
+    emit("ablation_merge_anatomy", "\n".join(lines))
+    for app in APPS:
+        # clustering converts some load stall into merge stall
+        assert res[app][2]["merge"] > res[app][1]["merge"]
+        assert res[app][2]["load"] < res[app][1]["load"]

@@ -1,0 +1,45 @@
+"""E-F2 — Figure 2: the benefits of clustering with infinite caches.
+
+Regenerates the paper's Figure 2: for each of the nine applications, the
+normalized execution-time breakdown at 1/2/4/8 processors per cluster with
+infinite cluster caches (inherent communication + cold misses only).
+
+Paper shape (what to look for in the output):
+
+* LU, FFT ≈ flat (≥ ~97% at 8-way in the paper);
+* Ocean's load stall halves with every cluster-size doubling;
+* Barnes/FMM nearly flat; Raytrace/Volrend ≤ ~10% gains;
+* Radix shows merge time appearing as load time falls (late prefetches);
+* MP3D gains the most (~15% at 8-way) because communication dominates.
+"""
+
+import pytest
+
+from repro.analysis import (figure_from_cluster_sweep, miss_breakdown,
+                            render_miss_breakdown, render_rows)
+from repro.apps.registry import APP_NAMES
+from repro.core.study import ClusteringStudy
+
+from _support import app_kwargs, machine
+
+CLUSTERS = (1, 2, 4, 8)
+
+
+@pytest.mark.parametrize("app", APP_NAMES)
+def test_fig2(benchmark, emit, app):
+    study = ClusteringStudy(app, machine(), app_kwargs(app))
+
+    def run():
+        return study.cluster_sweep(None, CLUSTERS)
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    fig = figure_from_cluster_sweep(
+        f"Figure 2 ({app}): infinite caches, clusters of 1/2/4/8", sweep)
+    text = render_rows(fig) + "\n\n" + render_miss_breakdown(
+        miss_breakdown(sweep), f"{app}: miss decomposition")
+    emit(f"fig2_{app}", text)
+    benchmark.extra_info["totals"] = {
+        str(c): round(fig.groups[0].bars[i].total, 1)
+        for i, c in enumerate(CLUSTERS)}
+    # baseline sanity: the 1p bar is the normalization anchor
+    assert fig.groups[0].bars[0].total == pytest.approx(100.0)

@@ -1,0 +1,36 @@
+"""E-F3 — Figure 3: Ocean with the small (66×66-class) problem.
+
+The paper shrinks Ocean's grid so communication matters more: clustering
+then helps substantially (paper bars 100 / 88.2 / 74.7 / 64.0) and an
+additional "inf" bar clusters all 64 processors around one cache.  The
+trade-off the paper highlights: load-imbalance sync time grows as the
+problem shrinks.
+"""
+
+import pytest
+
+from repro.analysis import figure_from_cluster_sweep, render_rows
+from repro.core.study import ClusteringStudy
+
+from _support import app_kwargs, current_scale, machine
+
+
+def test_fig3_ocean_small(benchmark, emit):
+    config = machine()
+    kwargs = app_kwargs("ocean")
+    kwargs["n"] = 32 if current_scale() == "quick" else 64  # "66x66" grid
+    clusters = list((1, 2, 4, 8)) + [config.n_processors]  # + 'inf' bar
+    study = ClusteringStudy("ocean", config, kwargs)
+
+    def run():
+        return study.cluster_sweep(None, clusters)
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    fig = figure_from_cluster_sweep(
+        "Figure 3: Ocean, infinite cache, small problem "
+        f"(clusters 1/2/4/8/{config.n_processors}='inf')", sweep)
+    emit("fig3_ocean_small", render_rows(fig))
+    bars = fig.groups[0].bars
+    # clustering must help monotonically through 8-way on the small grid
+    assert bars[0].total == pytest.approx(100.0)
+    assert bars[3].total < bars[0].total

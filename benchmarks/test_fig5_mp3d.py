@@ -1,0 +1,13 @@
+"""E-F5 — Figure 5: finite capacity effects for mp3d.
+
+See the paper's Figure 5 and benchmarks/_capacity.py for the grid.
+The key shape: clustering's benefit is largest when the per-processor
+cache is smaller than the (overlapping) working set, and shrinks back
+toward the infinite-cache benefit once the working set fits.
+"""
+
+from _capacity import run_capacity_figure
+
+
+def test_fig5_mp3d(benchmark, emit):
+    run_capacity_figure(benchmark, emit, 5, "mp3d")

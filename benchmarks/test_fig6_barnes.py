@@ -1,0 +1,13 @@
+"""E-F6 — Figure 6: finite capacity effects for barnes.
+
+See the paper's Figure 6 and benchmarks/_capacity.py for the grid.
+The key shape: clustering's benefit is largest when the per-processor
+cache is smaller than the (overlapping) working set, and shrinks back
+toward the infinite-cache benefit once the working set fits.
+"""
+
+from _capacity import run_capacity_figure
+
+
+def test_fig6_barnes(benchmark, emit):
+    run_capacity_figure(benchmark, emit, 6, "barnes")

@@ -1,0 +1,13 @@
+"""E-F7 — Figure 7: finite capacity effects for fmm.
+
+See the paper's Figure 7 and benchmarks/_capacity.py for the grid.
+The key shape: clustering's benefit is largest when the per-processor
+cache is smaller than the (overlapping) working set, and shrinks back
+toward the infinite-cache benefit once the working set fits.
+"""
+
+from _capacity import run_capacity_figure
+
+
+def test_fig7_fmm(benchmark, emit):
+    run_capacity_figure(benchmark, emit, 7, "fmm")

@@ -1,0 +1,13 @@
+"""E-F8 — Figure 8: finite capacity effects for volrend.
+
+See the paper's Figure 8 and benchmarks/_capacity.py for the grid.
+The key shape: clustering's benefit is largest when the per-processor
+cache is smaller than the (overlapping) working set, and shrinks back
+toward the infinite-cache benefit once the working set fits.
+"""
+
+from _capacity import run_capacity_figure
+
+
+def test_fig8_volrend(benchmark, emit):
+    run_capacity_figure(benchmark, emit, 8, "volrend")

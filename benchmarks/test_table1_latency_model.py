@@ -1,0 +1,44 @@
+"""E-T1 — Table 1: the latency model, asserted verbatim.
+
+Not a measurement — a verification that the simulator's latency inputs are
+exactly the paper's Table 1, plus a microbenchmark of the protocol engine's
+throughput on the four miss paths.
+"""
+
+from repro.analysis import render_table1
+from repro.core.config import LatencyModel, MachineConfig
+from repro.memory.allocation import PageAllocator
+from repro.memory.coherence import CoherentMemorySystem
+
+
+def test_table1(benchmark, emit):
+    lm = LatencyModel()
+    assert lm.hit_cycles(1) == 1
+    assert lm.hit_cycles(2) == 2
+    assert lm.hit_cycles(4) == lm.hit_cycles(8) == 3
+    assert lm.miss_cycles(0, 0, None) == 30
+    assert lm.miss_cycles(0, 0, 1) == 100
+    assert lm.miss_cycles(0, 1, None) == 100
+    assert lm.miss_cycles(0, 1, 1) == 100
+    assert lm.miss_cycles(0, 1, 2) == 150
+
+    # protocol-engine throughput on a mixed read/write stream
+    cfg = MachineConfig(n_processors=8, cluster_size=2,
+                        cache_kb_per_processor=4)
+
+    def protocol_churn():
+        al = PageAllocator(cfg.n_clusters, cfg.page_size, cfg.line_size)
+        mem = CoherentMemorySystem(cfg, al)
+        t = 0
+        for i in range(20000):
+            t += 200
+            proc = (i * 7) % 8
+            line = (i * 13) % 512
+            if i % 3:
+                mem.read(proc, line, t)
+            else:
+                mem.write(proc, line, t)
+        return mem
+
+    benchmark(protocol_churn)
+    emit("table1_latency_model", render_table1(lm))

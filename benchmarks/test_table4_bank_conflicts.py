@@ -1,0 +1,39 @@
+"""E-T4 — Table 4: probabilities of bank conflict.
+
+Reproduces the closed form C = 1 − ((m−1)/m)^(n−1) with 4 banks per
+processor, and cross-checks it against a Monte-Carlo simulation of random
+per-cycle bank choices (the physical process the paper assumes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table4
+from repro.core.contention import (bank_conflict_probability,
+                                   banks_for_cluster, conflict_table)
+
+
+def _monte_carlo(n_procs: int, n_banks: int, trials: int,
+                 rng: np.random.Generator) -> float:
+    """Empirical probability that processor 0's reference collides."""
+    picks = rng.integers(0, n_banks, size=(trials, n_procs))
+    collide = (picks[:, 1:] == picks[:, :1]).any(axis=1)
+    return float(collide.mean())
+
+
+def test_table4(benchmark, emit):
+    rows = benchmark(conflict_table)
+    expected = {1: 0.0, 2: 0.125, 4: 0.176, 8: 0.199}
+    for n, m, c in rows:
+        assert c == pytest.approx(expected[n], abs=5e-4)
+
+    rng = np.random.default_rng(7)
+    lines = [render_table4(), "", "Monte-Carlo cross-check (200k trials):"]
+    for n in (2, 4, 8):
+        m = banks_for_cluster(n)
+        emp = _monte_carlo(n, m, 200_000, rng)
+        analytic = bank_conflict_probability(n, m)
+        assert emp == pytest.approx(analytic, abs=0.01)
+        lines.append(f"  n={n} m={m}: analytic {analytic:.4f} "
+                     f"empirical {emp:.4f}")
+    emit("table4_bank_conflicts", "\n".join(lines))

@@ -1,0 +1,48 @@
+"""E-T5 — Table 5: load-latency execution-time expansion factors.
+
+Two artifacts:
+
+1. the paper's Pixie-measured factors (adopted as calibrated inputs for the
+   §6 cost model — we cannot re-run MIPS basic-block scheduling), and
+2. the same measurement performed on *our* engine: each application re-run
+   against a perfect memory with reads charged 1-4 cycles.  The engine
+   folds private/stack loads into WORK cycles, so its shared-read density
+   (and hence the expansion) is generally *below* Pixie's whole-program
+   load density; the paper's values therefore remain the calibrated cost-
+   model inputs, and this artifact documents the engine-native analog.
+"""
+
+import pytest
+
+from repro.analysis import render_table5
+from repro.core.contention import (PAPER_TABLE5, ExpansionTable,
+                                   LoadLatencyProfiler)
+
+from _support import app_kwargs, machine
+
+APPS = ("barnes", "lu", "ocean", "radix", "volrend", "mp3d")
+
+
+def test_table5(benchmark, emit):
+    profiler = LoadLatencyProfiler(machine())
+
+    def measure_all():
+        out = {}
+        for app in APPS:
+            profiler.app_kwargs = app_kwargs(app)
+            out[app] = profiler.measure(app)
+        return out
+
+    measured = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    paper = {app: ExpansionTable(f) for app, f in PAPER_TABLE5.items()}
+    text = (render_table5(paper, "Table 5 (paper, Pixie-measured inputs)")
+            + "\n\n"
+            + render_table5(measured,
+                            "Table 5 (measured on this engine; "
+                            "engine-native analog, see docstring)"))
+    emit("table5_load_latency", text)
+    for app in APPS:
+        m = measured[app].factors
+        assert m[0] == pytest.approx(1.0)
+        # extra load latency can only slow a run down, monotonically
+        assert m[3] >= m[2] >= m[1] >= 1.0

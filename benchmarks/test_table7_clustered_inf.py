@@ -1,0 +1,44 @@
+"""E-T7 — Table 7: relative execution time with infinite caches, including
+the §6 shared-cache costs.
+
+Paper values: ocean 1.00/0.99/1.04/0.99; lu 1.00/1.03/1.06/1.05.
+
+Shape to reproduce: with infinite caches there is no working-set benefit
+left, so the hit-time/bank-conflict costs make clustering a wash (Ocean,
+whose communication capture fights the costs) or a loss (LU).
+"""
+
+from repro.analysis import render_comparison, render_cost_table
+from repro.core.contention import SharedCacheCostModel
+
+from _support import app_kwargs, machine
+
+CLUSTERS = (1, 2, 4, 8)
+PAPER = {
+    "ocean": (1.0, 0.99, 1.04, 0.99),
+    "lu": (1.0, 1.03, 1.06, 1.05),
+}
+
+
+def test_table7(benchmark, emit):
+    model = SharedCacheCostModel()
+    config = machine()
+
+    def run():
+        return [model.evaluate(app, None, config, CLUSTERS,
+                               app_kwargs=app_kwargs(app))
+                for app in ("ocean", "lu")]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    measured = {r.app: [r.relative_time[c] for c in CLUSTERS] for r in rows}
+    text = (render_cost_table(rows, "Table 7: Relative Execution Time of "
+                              "Clustering with Infinite Caches")
+            + "\n\n"
+            + render_comparison("Paper vs measured",
+                                [f"{c}-way" for c in CLUSTERS],
+                                PAPER, measured))
+    emit("table7_clustered_inf", text)
+    lu = next(r for r in rows if r.app == "lu")
+    # LU must not profit once shared-cache costs are charged
+    assert lu.relative_time[2] > 0.97
+    assert lu.cost_factor[8] > lu.cost_factor[2] > 1.0

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Ocean clustering study — the paper's Figures 2 and 3 in miniature.
+
+Sweeps processors-per-cluster (1/2/4/8) with infinite caches for two Ocean
+problem sizes.  The large grid shows the paper's signature: load-stall time
+halves with every cluster-size doubling (row-adjacent processors share a
+cluster, so their boundary exchanges stay inside it), but the total barely
+moves because communication is a perimeter-to-area ratio.  The small grid
+(Figure 3) makes communication matter, so clustering visibly helps — at
+the cost of growing load-imbalance sync time.
+
+Run:  python examples/ocean_clustering.py
+"""
+
+from repro.analysis import (figure_from_cluster_sweep, render_ascii,
+                            render_rows)
+from repro.core import ClusteringStudy, MachineConfig
+
+
+def main() -> None:
+    config = MachineConfig(n_processors=64)
+
+    for label, n in (("large grid (Figure 2 regime)", 128),
+                     ("small grid (Figure 3 regime)", 64)):
+        study = ClusteringStudy("ocean", config, {"n": n, "n_vcycles": 2})
+        sweep = study.cluster_sweep(cache_kb=None, cluster_sizes=(1, 2, 4, 8))
+        fig = figure_from_cluster_sweep(
+            f"Ocean {n}x{n}, infinite caches — {label}", sweep)
+        print(render_rows(fig))
+        print()
+        print(render_ascii(fig))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Shared first-level-cache costs — the paper's §6 (Tables 4-7).
+
+Sharing a first-level cache is not free: it needs multiple banks (conflict
+stalls, Table 4) and has a longer hit time (Table 1), whose execution-time
+impact the paper measured with Pixie (Table 5).  This example walks the
+whole §6 pipeline:
+
+1. prints the bank-conflict probabilities,
+2. prints the load-latency expansion factors (paper inputs + measured on
+   this engine),
+3. combines them into the per-cluster-size cost factor, and
+4. applies the factors to simulated cluster sweeps, reproducing the
+   Table 6/7 verdicts: small caches → overlap can pay for the costs;
+   infinite caches → clustering is a wash or a loss.
+
+Run:  python examples/shared_cache_costs.py
+"""
+
+from repro.analysis import render_cost_table, render_table4, render_table5
+from repro.core import MachineConfig
+from repro.core.contention import (PAPER_TABLE5, ExpansionTable,
+                                   LoadLatencyProfiler, SharedCacheCostModel)
+
+CONFIG = MachineConfig(n_processors=32)
+CLUSTERS = (1, 2, 4, 8)
+
+
+def main() -> None:
+    print(render_table4(), "\n")
+
+    paper_tables = {app: ExpansionTable(f) for app, f in PAPER_TABLE5.items()}
+    print(render_table5(paper_tables, "Load-latency factors (paper inputs)"))
+
+    profiler = LoadLatencyProfiler(CONFIG, {"n_keys": 8192, "radix": 64})
+    measured = {"radix": profiler.measure("radix")}
+    print()
+    print(render_table5(measured, "Measured on this engine (radix)"))
+    print()
+
+    model = SharedCacheCostModel()
+    print("Cost factor per cluster size (hit time x bank conflicts):")
+    for app in ("lu", "mp3d"):
+        factors = "  ".join(f"{c}-way {model.cost_factor(app, c):.3f}"
+                            for c in CLUSTERS)
+        print(f"  {app:>6}: {factors}")
+    print()
+
+    small = [model.evaluate("barnes", 2.0, CONFIG, CLUSTERS,
+                            app_kwargs={"n_particles": 1024, "n_steps": 1})]
+    print(render_cost_table(
+        small, "Table 6 regime: 2KB caches (working-set overlap territory)"))
+    print()
+    inf = [model.evaluate("lu", None, CONFIG, CLUSTERS,
+                          app_kwargs={"n": 128, "block": 16})]
+    print(render_cost_table(
+        inf, "Table 7 regime: infinite caches (costs with no overlap)"))
+
+
+if __name__ == "__main__":
+    main()

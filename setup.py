@@ -1,0 +1,7 @@
+"""Shim so legacy editable installs work on environments without the
+``wheel`` package (``pip install -e . --no-build-isolation --no-use-pep517``).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro — reproduction of *The Benefits of Clustering in Shared Address
+Space Multiprocessors: An Applications-Driven Investigation* (Erlichson,
+Nayfeh, Singh & Olukotun; Stanford CSL-TR-94-632 / SC'95).
+
+The package is an execution-driven simulator for clustered shared-memory
+multiprocessors plus the paper's full experimental apparatus:
+
+* :mod:`repro.memory` — shared-cache clusters, full-bit-vector directory,
+  invalidation coherence, first-touch round-robin page placement;
+* :mod:`repro.sim` — the event-driven multiprocessor engine (Tango-lite
+  analog) with cpu/load/merge/sync time accounting;
+* :mod:`repro.apps` — nine SPLASH-style applications (Barnes, FMM, FFT, LU,
+  MP3D, Ocean, Radix, Raytrace, Volrend) that really compute and emit
+  shared-reference streams;
+* :mod:`repro.core` — machine configs (Table 1), sweep driver, the §6
+  shared-cache cost model (Tables 4-7), and working-set profiling;
+* :mod:`repro.analysis` — the paper's figures and tables, regenerated.
+
+Quickstart::
+
+    from repro import MachineConfig, run_app
+    result = run_app("ocean", MachineConfig(n_processors=64, cluster_size=4))
+    print(result.breakdown.fractions())
+"""
+
+from .core.config import (PAPER_CACHE_SIZES_KB, PAPER_CLUSTER_SIZES,
+                          LatencyModel, MachineConfig)
+from .core.metrics import (MissCause, MissCounters, MissKind, RunResult,
+                           TimeBreakdown)
+from .memory.coherence import CoherentMemorySystem
+from .sim.engine import Engine, PerfectMemory, run_program
+from .sim.program import Barrier, Lock, Read, Unlock, Work, Write
+from .sim.stats import summarize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig", "LatencyModel",
+    "PAPER_CLUSTER_SIZES", "PAPER_CACHE_SIZES_KB",
+    "MissKind", "MissCause", "MissCounters", "TimeBreakdown", "RunResult",
+    "CoherentMemorySystem", "Engine", "PerfectMemory", "run_program",
+    "Work", "Read", "Write", "Barrier", "Lock", "Unlock",
+    "summarize", "run_app", "__version__",
+]
+
+
+def run_app(name: str, config: MachineConfig, **app_kwargs):
+    """Run one named application on one machine configuration.
+
+    ``app_kwargs`` override the application's default (scaled-down) problem
+    size; see :mod:`repro.apps.registry` for the knobs of each application.
+    """
+    from .apps.registry import build_app
+
+    app = build_app(name, config, **app_kwargs)
+    return app.run()

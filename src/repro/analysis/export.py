@@ -1,0 +1,97 @@
+"""Machine-readable export of experiment results (CSV / JSON).
+
+The text renderers in :mod:`repro.analysis.tables` and
+:mod:`repro.analysis.figures` mirror the paper's layout; downstream users
+who want to re-plot the data (matplotlib, gnuplot, a spreadsheet) need the
+raw series instead.  These helpers flatten figures and sweeps into rows of
+plain scalars.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Mapping
+
+from ..core.study import SweepPoint
+from .figures import FigureData
+
+__all__ = ["figure_to_records", "figure_to_csv", "figure_to_json",
+           "sweep_to_records", "sweep_to_csv"]
+
+
+def figure_to_records(fig: FigureData) -> list[dict[str, Any]]:
+    """One dict per bar: group, label, components, total."""
+    records = []
+    for group in fig.groups:
+        for bar in group.bars:
+            records.append({
+                "figure": fig.title,
+                "group": group.label,
+                "bar": bar.label,
+                "cpu": bar.cpu,
+                "load": bar.load,
+                "merge": bar.merge,
+                "sync": bar.sync,
+                "total": bar.total,
+            })
+    return records
+
+
+def _records_to_csv(records: list[dict[str, Any]]) -> str:
+    if not records:
+        return ""
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=list(records[0]))
+    writer.writeheader()
+    writer.writerows(records)
+    return out.getvalue()
+
+
+def figure_to_csv(fig: FigureData) -> str:
+    """CSV text with one row per bar."""
+    return _records_to_csv(figure_to_records(fig))
+
+
+def figure_to_json(fig: FigureData, indent: int | None = 2) -> str:
+    """JSON text: ``{"title": ..., "bars": [...]}``."""
+    return json.dumps({"title": fig.title,
+                       "bars": figure_to_records(fig)}, indent=indent)
+
+
+def sweep_to_records(sweep: Mapping[Any, SweepPoint]) -> list[dict[str, Any]]:
+    """Flatten a cluster/capacity sweep: one dict per simulated point.
+
+    Includes the raw execution time, the component breakdown, and the
+    headline miss statistics, so every number in the paper-format output
+    can be recomputed from the export.
+    """
+    records = []
+    for key, point in sweep.items():
+        bd = point.result.breakdown
+        m = point.result.misses
+        records.append({
+            "app": point.app,
+            "cluster_size": point.cluster_size,
+            "cache_kb": ("inf" if point.cache_kb is None
+                         else float(point.cache_kb)),
+            "execution_time": point.result.execution_time,
+            "cpu": bd.cpu,
+            "load": bd.load,
+            "merge": bd.merge,
+            "sync": bd.sync,
+            "references": m.references,
+            "misses": m.misses,
+            "miss_rate": m.miss_rate,
+            "merges": m.merges,
+            "upgrades": m.upgrade_misses,
+            "prefetch_hits": m.prefetch_hits,
+        })
+    records.sort(key=lambda r: (str(r["cache_kb"]), r["cluster_size"]))
+    return records
+
+
+def sweep_to_csv(sweep: Mapping[Any, SweepPoint]) -> str:
+    """CSV text with one row per simulated configuration."""
+    return _records_to_csv(sweep_to_records(sweep))

@@ -1,0 +1,157 @@
+"""Paper-format figure data and rendering (Figures 2-8).
+
+Every evaluation figure in the paper is a family of stacked bars — one bar
+per (cache size, cluster size), four components (cpu / load / merge /
+sync), normalized to the 1-processor-per-cluster bar of the same cache
+size.  :class:`FigureData` holds exactly that structure; renderers emit the
+paper's numeric annotations as aligned text tables and an ASCII bar chart
+for terminals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..core.study import CacheKey, SweepPoint, cache_label, normalize_sweep
+
+__all__ = ["Bar", "BarGroup", "FigureData", "figure_from_cluster_sweep",
+           "figure_from_capacity_sweep", "render_rows", "render_ascii"]
+
+_COMPONENTS = ("cpu", "load", "merge", "sync")
+
+
+@dataclass(frozen=True)
+class Bar:
+    """One stacked bar: normalized component heights (percent of baseline)."""
+
+    label: str
+    cpu: float
+    load: float
+    merge: float
+    sync: float
+
+    @property
+    def total(self) -> float:
+        return self.cpu + self.load + self.merge + self.sync
+
+    def component(self, name: str) -> float:
+        return getattr(self, name)
+
+
+@dataclass
+class BarGroup:
+    """Bars sharing a normalization baseline (one cache size)."""
+
+    label: str
+    bars: list[Bar] = field(default_factory=list)
+
+
+@dataclass
+class FigureData:
+    """A full figure: titled groups of normalized stacked bars."""
+
+    title: str
+    groups: list[BarGroup] = field(default_factory=list)
+
+    def bar(self, group_label: str, bar_label: str) -> Bar:
+        for g in self.groups:
+            if g.label == group_label:
+                for b in g.bars:
+                    if b.label == bar_label:
+                        return b
+        raise KeyError(f"no bar {bar_label!r} in group {group_label!r}")
+
+    def series(self, component: str | None = None) -> dict[str, list[float]]:
+        """{group label: [values per bar]} of totals or one component."""
+        out = {}
+        for g in self.groups:
+            if component is None:
+                out[g.label] = [b.total for b in g.bars]
+            else:
+                out[g.label] = [b.component(component) for b in g.bars]
+        return out
+
+
+def _bar_from_norm(label: str, norm: Mapping[str, float]) -> Bar:
+    return Bar(label=label, cpu=norm["cpu"], load=norm["load"],
+               merge=norm["merge"], sync=norm["sync"])
+
+
+def figure_from_cluster_sweep(title: str, sweep: Mapping[int, SweepPoint],
+                              ) -> FigureData:
+    """Figure 2/3 style: one group, one bar per cluster size."""
+    norms = normalize_sweep(sweep)
+    group = BarGroup(label="")
+    for c in sorted(sweep):
+        group.bars.append(_bar_from_norm(f"{c}p", norms[c]))
+    return FigureData(title=title, groups=[group])
+
+
+def figure_from_capacity_sweep(title: str,
+                               sweep: Mapping[tuple[CacheKey, int], SweepPoint],
+                               ) -> FigureData:
+    """Figure 4-8 style: one group per cache size, bars per cluster size.
+
+    Groups appear in increasing cache size with infinite last, matching the
+    paper's left-to-right 4k / 16k / 32k / inf layout.
+    """
+    norms = normalize_sweep(sweep)
+    cache_sizes = sorted({k for k, _ in sweep},
+                         key=lambda k: (k is None, k if k is not None else 0))
+    fig = FigureData(title=title)
+    for kb in cache_sizes:
+        group = BarGroup(label=cache_label(kb))
+        for (k, c) in sorted(sweep, key=lambda kc: (kc[1],)):
+            if k == kb:
+                group.bars.append(_bar_from_norm(f"{c}p", norms[(k, c)]))
+        fig.groups.append(group)
+    return fig
+
+
+def render_rows(fig: FigureData) -> str:
+    """The paper's numeric annotations as an aligned text table."""
+    lines = [fig.title, "=" * len(fig.title)]
+    header = f"{'group':>6} {'bar':>5} {'total':>7} " + " ".join(
+        f"{c:>7}" for c in _COMPONENTS)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for g in fig.groups:
+        for b in g.bars:
+            lines.append(
+                f"{g.label:>6} {b.label:>5} {b.total:7.1f} "
+                + " ".join(f"{b.component(c):7.1f}" for c in _COMPONENTS))
+    return "\n".join(lines)
+
+
+_GLYPHS = {"cpu": "#", "load": "=", "merge": "~", "sync": "."}
+
+
+def render_ascii(fig: FigureData, height: int = 25) -> str:
+    """Stacked ASCII bars (one column per bar), component glyphs:
+    ``#`` cpu, ``=`` load, ``~`` merge, ``.`` sync."""
+    cols: list[tuple[str, list[str]]] = []  # (label, glyph column bottom-up)
+    max_total = max((b.total for g in fig.groups for b in g.bars), default=100.0)
+    scale = height / max(max_total, 1e-9)
+    for g in fig.groups:
+        for b in g.bars:
+            column: list[str] = []
+            for comp in _COMPONENTS:
+                column.extend([_GLYPHS[comp]] * round(b.component(comp) * scale))
+            label = f"{g.label}:{b.label}" if g.label else b.label
+            cols.append((label, column))
+        cols.append(("", []))  # gap between groups
+    if cols and cols[-1][0] == "":
+        cols.pop()
+    width = max((len(label) for label, _ in cols), default=4)
+    lines = [fig.title, ""]
+    tallest = max((len(c) for _, c in cols), default=0)
+    for row in range(tallest - 1, -1, -1):
+        line = " ".join(
+            (col[row] if row < len(col) else " ").center(width)
+            for _, col in cols)
+        lines.append(line)
+    lines.append(" ".join(label.center(width) for label, _ in cols))
+    legend = "  ".join(f"{g}={c}" for c, g in _GLYPHS.items())
+    lines.append(f"[{legend}] (bars are % of the 1p baseline per group)")
+    return "\n".join(lines)

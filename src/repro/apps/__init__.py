@@ -1,0 +1,20 @@
+"""The nine-application workload suite (SPLASH-style, really computing)."""
+
+from .barnes import BarnesApp
+from .base import Application, PhaseBarriers, proc_grid_shape
+from .fft import FFTApp
+from .fmm import FMMApp
+from .lu import LUApp
+from .mp3d import MP3DApp
+from .ocean import OceanApp
+from .radix import RadixApp
+from .raytrace import RaytraceApp
+from .registry import APP_NAMES, PAPER_PROBLEM_SIZES, app_class, build_app
+from .volrend import VolrendApp
+
+__all__ = [
+    "Application", "PhaseBarriers", "proc_grid_shape",
+    "BarnesApp", "FFTApp", "FMMApp", "LUApp", "MP3DApp", "OceanApp",
+    "RadixApp", "RaytraceApp", "VolrendApp",
+    "APP_NAMES", "PAPER_PROBLEM_SIZES", "app_class", "build_app",
+]

@@ -1,0 +1,159 @@
+"""MP3D — rarefied-fluid particle-in-cell simulation (SPLASH MP3D analog).
+
+Paper characterization (Tables 2-3): 50 000 particles; *the* communication
+stress test — high-volume, very unstructured, read-write sharing of the
+space-cell array; large O(n/p) working set.  The paper keeps it precisely
+because it is *not* a well-tuned parallel code: particles are dealt to
+processors round-robin with no spatial locality (it was written for vector
+machines), so every processor scatters updates across the whole space-cell
+array.  Figure 2: the relative communication reduction from clustering is
+small, but because communication dominates execution time the performance
+gain is the largest of the unstructured codes (~15% at 8-way).
+
+Per time step each processor, for each of its particles:
+
+1. reads the particle record (its own partition, placed locally),
+2. advances it ballistically, reflecting at the domain walls (real
+   kinematics — positions/velocities are simulated honestly),
+3. reads **and writes** the space cell the particle lands in (count,
+   momentum and energy accumulators — the unstructured read-write
+   communication), and
+4. with probability ``collide_prob`` performs a collision against the
+   cell's reservoir velocity, rotating its velocity while preserving speed
+   (energy-conserving, which the tests check).
+
+Steps are separated by barriers.  Cell records are one cache line each and
+round-robin page-placed (no owner makes sense — everyone writes them all).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..core.config import MachineConfig
+from ..sim.program import Barrier, Lock, Op, Read, Unlock, Work, Write
+from .base import Application, PhaseBarriers
+
+__all__ = ["MP3DApp"]
+
+#: particle record: pos(3) + vel(3) + padding = one 64 B line
+_PARTICLE_DOUBLES = 8
+#: cell record: count + momentum(3) + energy + reservoir(3) = one 64 B line
+_CELL_DOUBLES = 8
+
+
+class MP3DApp(Application):
+    """Particle-in-cell stress test.
+
+    Parameters
+    ----------
+    n_particles:
+        Particle count (default 50 000, the paper's size).
+    cells_per_side:
+        The space array is ``cells_per_side**3`` cells (default 12 → 1 728
+        cells ≈ 108 KB of read-write shared accumulators).
+    n_steps:
+        Time steps (default 4).
+    collide_prob:
+        Per-step collision probability (default 0.25).
+    """
+
+    name = "mp3d"
+
+    def __init__(self, config: MachineConfig, n_particles: int = 50000,
+                 cells_per_side: int = 12, n_steps: int = 4,
+                 collide_prob: float = 0.25, seed: int = 12345) -> None:
+        super().__init__(config, seed)
+        if n_particles < config.n_processors:
+            raise ValueError("need at least one particle per processor")
+        self.n_particles = n_particles
+        self.cells_per_side = cells_per_side
+        self.n_cells = cells_per_side ** 3
+        self.n_steps = n_steps
+        self.collide_prob = collide_prob
+        self.pos = np.empty((n_particles, 3))
+        self.vel = np.empty((n_particles, 3))
+        # cell accumulators: [count, px, py, pz, energy, rx, ry, rz]
+        self.cells = np.zeros((self.n_cells, _CELL_DOUBLES))
+
+    # ---------------------------------------------------------------- setup
+    def setup(self) -> None:
+        rng = self.rng(0)
+        self.pos[:] = rng.uniform(0.0, 1.0, size=self.pos.shape)
+        self.vel[:] = rng.normal(0.0, 0.08, size=self.vel.shape)
+        self.cells[:, 5:8] = rng.normal(0.0, 0.08, size=(self.n_cells, 3))
+        self.rparticles = self.space.allocate(
+            "mp3d.particles", self.n_particles * _PARTICLE_DOUBLES)
+        self.rcells = self.space.allocate(
+            "mp3d.cells", self.n_cells * _CELL_DOUBLES)
+        # particles dealt round-robin -> place contiguous index chunks at
+        # their owner's cluster anyway (records are private to the owner)
+        self.place_partitions(self.rparticles)
+        # space cells: no meaningful owner; first-touch round-robin pages
+
+    def cell_of(self, p: int) -> int:
+        """Space cell index containing particle ``p`` (from live position)."""
+        cps = self.cells_per_side
+        ijk = np.minimum((self.pos[p] * cps).astype(int), cps - 1)
+        return int((ijk[0] * cps + ijk[1]) * cps + ijk[2])
+
+    # -------------------------------------------------------------- program
+    def program(self, pid: int) -> Iterator[Op]:
+        bar = PhaseBarriers()
+        rng = self.rng(1, pid)
+        mine = self.partition_slice(self.n_particles, pid)
+        pelem = self.rparticles.element
+        celem = self.rcells.element
+        dt = 0.05
+        yield Barrier(bar())
+
+        for _step in range(self.n_steps):
+            for p in mine:
+                # -- numerics: ballistic move with wall reflection --------
+                self.pos[p] += dt * self.vel[p]
+                for ax in range(3):
+                    if self.pos[p, ax] < 0.0:
+                        self.pos[p, ax] = -self.pos[p, ax]
+                        self.vel[p, ax] = -self.vel[p, ax]
+                    elif self.pos[p, ax] > 1.0:
+                        self.pos[p, ax] = 2.0 - self.pos[p, ax]
+                        self.vel[p, ax] = -self.vel[p, ax]
+                cell = self.cell_of(p)
+                crec = self.cells[cell]
+                crec[0] += 1.0
+                crec[1:4] += self.vel[p]
+                crec[4] += 0.5 * float(self.vel[p] @ self.vel[p])
+                collided = rng.random() < self.collide_prob
+                if collided:
+                    # elastic scatter against the cell reservoir direction:
+                    # rotate velocity toward it, preserving speed
+                    speed = float(np.linalg.norm(self.vel[p]))
+                    mix = 0.5 * (self.vel[p] + crec[5:8])
+                    norm = float(np.linalg.norm(mix))
+                    if norm > 1e-12 and speed > 0.0:
+                        self.vel[p] = mix * (speed / norm)
+                # -- reference stream -------------------------------------
+                yield Read(pelem(p * _PARTICLE_DOUBLES))
+                yield Work(50)  # move + cell arithmetic
+                yield Read(celem(cell * _CELL_DOUBLES))     # accumulate:
+                yield Write(celem(cell * _CELL_DOUBLES))    # read-modify-write
+                if collided:
+                    # SPLASH MP3D guards collisions with per-cell locks;
+                    # lock contention is part of its synchronisation story.
+                    yield Lock(cell)
+                    yield Work(40)
+                    yield Write(celem(cell * _CELL_DOUBLES))
+                    yield Unlock(cell)
+                yield Write(pelem(p * _PARTICLE_DOUBLES))
+            yield Barrier(bar())
+
+    # ------------------------------------------------------------- checking
+    def total_count(self) -> float:
+        """Sum of all cell population accumulators (= particles × steps)."""
+        return float(self.cells[:, 0].sum())
+
+    def kinetic_energy(self) -> float:
+        """Total particle kinetic energy (conserved by elastic collisions)."""
+        return float(0.5 * np.einsum("ij,ij->", self.vel, self.vel))

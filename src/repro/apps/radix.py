@@ -1,0 +1,198 @@
+"""Radix — parallel radix sort of integer keys (SPLASH-2 RADIX analog).
+
+Paper characterization (Tables 2-3): 256 K integer keys, radix 256;
+all-to-all, relatively unstructured communication; two working sets — one
+small (histograms), one large O(n/p) (the key partitions).  Figure 2: Radix
+shows significant *prefetching* effects on the shared histograms, but — as
+in LU — cluster-mates touch the histograms at the same time, so much of the
+saved load-stall time reappears as merge time and net benefits are small.
+
+One pass per digit (least significant first):
+
+1. **histogram** — each processor counts digit occurrences in its key
+   partition (linear local reads) and publishes its histogram row to a
+   shared histogram table;
+2. *barrier*; **rank** — the digit space is split across processors: the
+   owner of a digit slice reads that *column* of every processor's
+   histogram row (this transposed reduction over the shared histograms is
+   the heavily shared read the paper calls out) and publishes per-(digit,
+   processor) starting offsets;
+3. *barrier*; **permute** — each processor re-reads its keys and writes
+   each into its globally ranked slot of the destination buffer
+   (unstructured all-to-all writes, "random locations in a shared array");
+4. *barrier*; buffers swap and the next digit begins.
+
+The sort is real: the final buffer equals ``numpy.sort`` of the input
+(checked in tests).  Key buffers and histogram/offset rows are placed at
+their owner's cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..core.config import MachineConfig
+from ..sim.program import Barrier, Op, Read, Work, Write
+from .base import Application, PhaseBarriers
+
+__all__ = ["RadixApp"]
+
+
+class RadixApp(Application):
+    """Parallel LSD radix sort.
+
+    Parameters
+    ----------
+    n_keys:
+        Number of keys (default 131 072; the paper used 262 144).
+    radix:
+        Digit base (default 256, the paper's radix).
+    n_digits:
+        Number of digit passes; keys are drawn from ``[0, radix**n_digits)``
+        (default 2, giving 16-bit keys at the default radix).
+    """
+
+    name = "radix"
+
+    def __init__(self, config: MachineConfig, n_keys: int = 131072,
+                 radix: int = 256, n_digits: int = 2,
+                 seed: int = 12345) -> None:
+        super().__init__(config, seed)
+        if n_keys % config.n_processors != 0:
+            raise ValueError("n_keys must be divisible by the processor count")
+        if radix < 2 or n_digits < 1:
+            raise ValueError("radix must be >= 2 and n_digits >= 1")
+        if radix % config.n_processors != 0 and config.n_processors % radix != 0:
+            # digit slices must tile the radix space evenly
+            if radix < config.n_processors:
+                raise ValueError("radix must be >= n_processors")
+        self.n_keys = n_keys
+        self.radix = radix
+        self.n_digits = n_digits
+        self.keys_per_proc = n_keys // config.n_processors
+        self.buffers = [np.empty(n_keys, dtype=np.int64) for _ in range(2)]
+        self.key_input = np.empty(n_keys, dtype=np.int64)
+        # per-pass scratch shared between processes (recomputed each pass)
+        self._hist = np.zeros((config.n_processors, radix), dtype=np.int64)
+        self._offsets = np.zeros((radix, config.n_processors), dtype=np.int64)
+        self._offsets_pass = -1  # which pass self._offsets currently holds
+
+    # ---------------------------------------------------------------- setup
+    def setup(self) -> None:
+        rng = self.rng(0)
+        hi = self.radix ** self.n_digits
+        self.key_input[:] = rng.integers(0, hi, size=self.n_keys)
+        self.buffers[0][:] = self.key_input
+        n = self.n_keys
+        self.rkeys = [self.space.allocate(f"radix.keys{b}", n) for b in (0, 1)]
+        p, r = self.config.n_processors, self.radix
+        self.rhist = self.space.allocate("radix.hist", p * r)
+        self.roffsets = self.space.allocate("radix.offsets", r * p)
+        self.rtotals = self.space.allocate("radix.totals", r)
+        for region in self.rkeys:
+            self.place_partitions(region)
+        self.place_partitions(self.rhist)      # row pid at pid's cluster
+        # offsets: digit-major; slice owned by the digit-slice owner
+        self.place_partitions(self.roffsets)
+
+    def _digit_slice(self, pid: int) -> range:
+        """Digit values whose ranking processor ``pid`` is."""
+        per = self.radix // self.config.n_processors
+        if per == 0:
+            # fewer digits than processors: low pids take one digit each
+            return range(pid, pid + 1) if pid < self.radix else range(0)
+        return range(pid * per, (pid + 1) * per)
+
+    # -------------------------------------------------------------- program
+    def program(self, pid: int) -> Iterator[Op]:
+        bar = PhaseBarriers()
+        p = self.config.n_processors
+        r = self.radix
+        kpp = self.keys_per_proc
+        lo = pid * kpp
+        yield Barrier(bar())
+
+        for digit in range(self.n_digits):
+            shift = digit
+            src = self.buffers[digit % 2]
+            dst = self.buffers[(digit + 1) % 2]
+            rsrc = self.rkeys[digit % 2]
+            rdst = self.rkeys[(digit + 1) % 2]
+
+            # ---- phase 1: local histogram ------------------------------
+            my_keys = src[lo:lo + kpp]
+            digits = (my_keys // (r ** shift)) % r
+            self._hist[pid, :] = np.bincount(digits, minlength=r)
+            yield from self.read_span(rsrc, lo, kpp)
+            yield Work(12 * kpp)
+            yield from self.write_span(self.rhist, pid * r, r)
+            yield Barrier(bar())
+
+            # ---- phase 2a: transposed rank reduction -------------------
+            # I own a slice of digit values; read that column of every
+            # processor's histogram row (the heavily shared access the
+            # paper calls out) and publish within-digit processor offsets
+            # plus my digits' totals.
+            if digit != self._offsets_pass:
+                # numerics once per pass, identical for all processes
+                counts = self._hist.sum(axis=0)
+                digit_base = np.concatenate(([0], np.cumsum(counts)[:-1]))
+                within = np.cumsum(self._hist, axis=0) - self._hist
+                self._offsets[:, :] = digit_base[:, None] + within.T
+                self._offsets_pass = digit
+            mine = self._digit_slice(pid)
+            hist_elem = self.rhist.element
+            for d in mine:
+                for q in range(p):
+                    yield Read(hist_elem(q * r + d))
+                yield Work(2 * p)
+                yield from self.write_span(self.roffsets, d * p, p)
+                yield Write(self.rtotals.element(d))
+            yield Barrier(bar())
+
+            # ---- phase 2b: digit-base prefix ---------------------------
+            # Each slice owner folds the totals of all lower digits into
+            # its offsets (the compact second reduction step that replaces
+            # SPLASH's tree).
+            if len(mine):
+                yield from self.read_span(self.rtotals, 0, mine.start + 1)
+                yield Work(mine.start + 2 * len(mine))
+                for d in mine:
+                    yield from self.write_span(self.roffsets, d * p, p)
+            yield Barrier(bar())
+
+            # ---- phase 3: permutation ----------------------------------
+            ranks = self._offsets[digits, pid] + _stable_rank_within(digits, r)
+            dst[ranks] = my_keys
+            off_elem = self.roffsets.element
+            dst_elem = rdst.element
+            read_off_done = set()
+            for i in range(kpp):
+                d = int(digits[i])
+                if d not in read_off_done:
+                    read_off_done.add(d)
+                    yield Read(off_elem(d * p + pid))
+                yield Read(rsrc.element(lo + i))
+                yield Work(14)
+                yield Write(dst_elem(int(ranks[i])))
+            yield Barrier(bar())
+
+    # ------------------------------------------------------------- checking
+    def result(self) -> np.ndarray:
+        """The sorted keys (final destination buffer)."""
+        return self.buffers[self.n_digits % 2].copy()
+
+    def reference(self) -> np.ndarray:
+        return np.sort(self.key_input)
+
+
+def _stable_rank_within(digits: np.ndarray, radix: int) -> np.ndarray:
+    """Rank of each key among *my* keys with the same digit (stable order)."""
+    ranks = np.empty(len(digits), dtype=np.int64)
+    seen = np.zeros(radix, dtype=np.int64)
+    for i, d in enumerate(digits):
+        ranks[i] = seen[d]
+        seen[d] += 1
+    return ranks

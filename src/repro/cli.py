@@ -1,0 +1,361 @@
+"""Command-line experiment driver.
+
+Examples::
+
+    repro-clustering run ocean --clusters 4 --cache 16
+    repro-clustering fig2 --apps ocean lu --quick
+    repro-clustering fig3
+    repro-clustering fig4            # raytrace capacity sweep
+    repro-clustering table4
+    repro-clustering table5 --measure
+    repro-clustering table6 --quick
+    repro-clustering workingset barnes
+
+``--quick`` shrinks problem sizes (~10× fewer cycles) for sanity runs;
+``--paper-scale`` selects the paper's Table 2 sizes.  Everything prints the
+paper-format numeric tables plus an ASCII rendering of the figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any
+
+from .analysis import (figure_from_capacity_sweep, figure_from_cluster_sweep,
+                       merge_anatomy, miss_breakdown, render_ascii,
+                       render_cost_table, render_miss_breakdown, render_rows,
+                       render_table1, render_table4, render_table5)
+from .apps.registry import APP_NAMES, PAPER_PROBLEM_SIZES
+from .core.config import (PAPER_CACHE_SIZES_KB, PAPER_CLUSTER_SIZES,
+                          MachineConfig)
+from .core.contention import (PAPER_TABLE5, ExpansionTable,
+                              LoadLatencyProfiler, SharedCacheCostModel)
+from .core.study import ClusteringStudy
+from .core.workingset import knee_of, working_set_curve
+from .sim.stats import summarize
+
+__all__ = ["main", "QUICK_PROBLEM_SIZES"]
+
+#: reduced problem sizes for --quick runs
+QUICK_PROBLEM_SIZES: dict[str, dict[str, Any]] = {
+    "barnes": {"n_particles": 512, "n_steps": 1},
+    "fft": {"n_points": 16384},
+    "fmm": {"n_particles": 512, "levels": 3, "n_steps": 1},
+    "lu": {"n": 128, "block": 16},
+    "mp3d": {"n_particles": 8000, "n_steps": 2},
+    "ocean": {"n": 64, "n_vcycles": 1},
+    "radix": {"n_keys": 32768, "radix": 128},
+    "raytrace": {"width": 32, "height": 32, "n_spheres": 32},
+    "volrend": {"volume_side": 32, "width": 32, "height": 32},
+}
+
+#: figure number -> application of the paper's finite-capacity figures
+CAPACITY_FIGURES = {4: "raytrace", 5: "mp3d", 6: "barnes", 7: "fmm",
+                    8: "volrend"}
+
+
+def _app_kwargs(name: str, args: argparse.Namespace) -> dict[str, Any]:
+    if getattr(args, "paper_scale", False):
+        return dict(PAPER_PROBLEM_SIZES.get(name, {}))
+    if getattr(args, "quick", False):
+        return dict(QUICK_PROBLEM_SIZES.get(name, {}))
+    return {}
+
+
+def _base_config(args: argparse.Namespace) -> MachineConfig:
+    return MachineConfig(n_processors=args.processors)
+
+
+def _cache_arg(value: str) -> float | None:
+    return None if value in ("inf", "none") else float(value)
+
+
+def _cache_list(value: str) -> list[float | None]:
+    return [_cache_arg(v) for v in value.split(",") if v]
+
+
+def _int_list(value: str) -> list[int]:
+    return [int(v) for v in value.split(",") if v]
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _base_config(args).with_clusters(args.clusters).with_cache_kb(
+        _cache_arg(args.cache))
+    study = ClusteringStudy(args.app, _base_config(args),
+                            _app_kwargs(args.app, args))
+    t0 = time.time()
+    point = study.run_point(args.clusters, _cache_arg(args.cache))
+    print(f"# {args.app} on {config.describe()}  [{time.time() - t0:.1f}s]")
+    print(summarize(point.result).format())
+    return 0
+
+
+def cmd_fig2(args: argparse.Namespace) -> int:
+    apps = args.apps or list(APP_NAMES)
+    for app in apps:
+        study = ClusteringStudy(app, _base_config(args), _app_kwargs(app, args))
+        t0 = time.time()
+        sweep = study.cluster_sweep(None, args.cluster_sizes)
+        fig = figure_from_cluster_sweep(
+            f"Figure 2 ({app}): infinite caches", sweep)
+        print(render_rows(fig))
+        if args.ascii:
+            print(render_ascii(fig))
+        print(render_miss_breakdown(miss_breakdown(sweep), f"{app}: misses"))
+        print(f"[{time.time() - t0:.1f}s]\n")
+    return 0
+
+
+def cmd_fig3(args: argparse.Namespace) -> int:
+    kwargs = _app_kwargs("ocean", args)
+    kwargs.setdefault("n", 64)  # the paper's "smaller 66-by-66 grid"
+    study = ClusteringStudy("ocean", _base_config(args), kwargs)
+    sizes = list(args.cluster_sizes) + [args.processors]  # 'inf' bar
+    sweep = study.cluster_sweep(None, sizes)
+    fig = figure_from_cluster_sweep(
+        "Figure 3: Ocean, infinite cache, small problem", sweep)
+    print(render_rows(fig))
+    if args.ascii:
+        print(render_ascii(fig))
+    return 0
+
+
+def cmd_capacity_figure(args: argparse.Namespace, fignum: int) -> int:
+    app = CAPACITY_FIGURES[fignum]
+    study = ClusteringStudy(app, _base_config(args), _app_kwargs(app, args))
+    t0 = time.time()
+    sweep = study.capacity_sweep(args.cache_sizes, args.cluster_sizes)
+    fig = figure_from_capacity_sweep(
+        f"Figure {fignum}: finite capacity effects for {app}", sweep)
+    print(render_rows(fig))
+    if args.ascii:
+        print(render_ascii(fig))
+    print(f"[{time.time() - t0:.1f}s]")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    print(render_table1())
+    return 0
+
+
+def cmd_table4(args: argparse.Namespace) -> int:
+    print(render_table4())
+    return 0
+
+
+def cmd_table5(args: argparse.Namespace) -> int:
+    tables = {name: ExpansionTable(f) for name, f in PAPER_TABLE5.items()}
+    print(render_table5(tables, "Table 5 (paper, Pixie-measured)"))
+    if args.measure:
+        profiler = LoadLatencyProfiler(_base_config(args))
+        measured = {}
+        for app in tables:
+            profiler.app_kwargs = _app_kwargs(app, args)
+            t0 = time.time()
+            measured[app] = profiler.measure(app)
+            print(f"  measured {app} [{time.time() - t0:.1f}s]",
+                  file=sys.stderr)
+        print(render_table5(
+            measured, "Table 5 (measured on this engine, no delay-slot "
+            "scheduling — upper bounds)"))
+    return 0
+
+
+def _cost_rows(apps: list[str], cache_kb: float | None,
+               args: argparse.Namespace):
+    model = SharedCacheCostModel()
+    rows = []
+    for app in apps:
+        rows.append(model.evaluate(app, cache_kb, _base_config(args),
+                                   args.cluster_sizes,
+                                   _app_kwargs(app, args)))
+    return rows
+
+
+def cmd_table6(args: argparse.Namespace) -> int:
+    rows = _cost_rows(["barnes", "radix", "volrend", "mp3d"], 4.0, args)
+    print(render_cost_table(
+        rows, "Table 6: Relative Execution Time of Clustering with 4KB "
+        "Caches (shared-cache costs included)"))
+    return 0
+
+
+def cmd_table7(args: argparse.Namespace) -> int:
+    rows = _cost_rows(["ocean", "lu"], None, args)
+    print(render_cost_table(
+        rows, "Table 7: Relative Execution Time of Clustering with "
+        "Infinite Caches (shared-cache costs included)"))
+    return 0
+
+
+def cmd_workingset(args: argparse.Namespace) -> int:
+    sizes = list(args.cache_sizes)
+    if None not in sizes:
+        sizes.append(None)  # always anchor with the infinite cache
+    curve = working_set_curve(args.app, sizes_kb=sizes,
+                              cluster_size=args.clusters,
+                              base_config=_base_config(args),
+                              app_kwargs=_app_kwargs(args.app, args))
+    print(f"# working set of {args.app} (cluster size {args.clusters})")
+    for label, rate, cap in curve.rows():
+        print(f"{label:>8}  miss rate {rate:8.4f}  capacity misses {cap:>10,}")
+    knee = knee_of(curve)
+    print(f"knee: {'beyond probed sizes' if knee is None else f'{knee:g} KB'}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Shared-cache vs snoopy shared-memory cluster, same budget."""
+    from .apps.registry import build_app
+    from .memory.snoopy import SnoopyClusterMemorySystem
+    from .sim.engine import Engine
+
+    config = _base_config(args).with_clusters(args.clusters).with_cache_kb(
+        _cache_arg(args.cache))
+    kwargs = _app_kwargs(args.app, args)
+
+    app = build_app(args.app, config, **kwargs)
+    shared = app.run()
+    print(f"# shared-cache cluster: {config.describe()}")
+    print(summarize(shared).format())
+
+    app = build_app(args.app, config, **kwargs)
+    app.ensure_setup()
+    mem = SnoopyClusterMemorySystem(config, app.allocator)
+    snoopy = Engine(config, mem).run(app.program)
+    print("\n# snoopy shared-memory cluster (same budget)")
+    print(summarize(snoopy).format())
+    print(f"cache-to-cache transfers: {mem.c2c_transfers:,}")
+    ratio = snoopy.execution_time / max(shared.execution_time, 1)
+    print(f"\nsnoopy / shared-cache execution time: {ratio:.3f}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Record a reference trace and report its statistics."""
+    from .apps.registry import build_app
+    from .memory.coherence import CoherentMemorySystem
+    from .sim.engine import Engine
+    from .sim.trace import TracingMemory
+
+    config = _base_config(args).with_clusters(args.clusters).with_cache_kb(
+        _cache_arg(args.cache))
+    app = build_app(args.app, config, **_app_kwargs(args.app, args))
+    app.ensure_setup()
+    memory = TracingMemory(CoherentMemorySystem(config, app.allocator))
+    Engine(config, memory).run(app.program)
+    trace = memory.trace()
+    summary = trace.summary()
+    print(f"# trace of {args.app} on {config.describe()}")
+    for key, value in summary.items():
+        print(f"  {key:>15}: {value:,}")
+    print(f"  {'footprint':>15}: {trace.footprint_bytes(config.line_size):,}"
+          f" bytes")
+    if args.output:
+        trace.save(args.output)
+        print(f"saved to {args.output}")
+    return 0
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    study = ClusteringStudy(args.app, _base_config(args),
+                            _app_kwargs(args.app, args))
+    sweep = study.cluster_sweep(_cache_arg(args.cache), args.cluster_sizes)
+    print(f"# merge anatomy for {args.app} (cache {args.cache})")
+    for c, row in merge_anatomy(sweep).items():
+        print(f"{c:>2}p  load {row['load']:>12,.0f}  merge "
+              f"{row['merge']:>12,.0f}  load+merge "
+              f"{row['load_plus_merge']:>12,.0f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-clustering",
+        description="Reproduce 'The Benefits of Clustering in Shared "
+        "Address Space Multiprocessors' (SC'95)")
+    p.add_argument("--processors", type=int, default=64,
+                   help="total processors (default 64, the paper's machine)")
+    p.add_argument("--quick", action="store_true",
+                   help="reduced problem sizes for fast sanity runs")
+    p.add_argument("--paper-scale", action="store_true",
+                   help="the paper's Table 2 problem sizes")
+    p.add_argument("--ascii", action="store_true",
+                   help="also draw ASCII bar charts")
+    p.add_argument("--cluster-sizes", type=_int_list,
+                   default=list(PAPER_CLUSTER_SIZES), metavar="N,N,...",
+                   help="comma-separated cluster sizes (default 1,2,4,8)")
+    p.add_argument("--cache-sizes", type=_cache_list,
+                   default=list(PAPER_CACHE_SIZES_KB), metavar="KB,...",
+                   help="comma-separated per-processor cache sizes in KB "
+                   "('inf' allowed; default 4,16,32,inf)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sp = sub.add_parser("run", help="simulate one app on one configuration")
+    sp.add_argument("app", choices=APP_NAMES)
+    sp.add_argument("--clusters", type=int, default=1)
+    sp.add_argument("--cache", default="inf")
+    sp.set_defaults(func=cmd_run)
+
+    sp = sub.add_parser("fig2", help="infinite-cache cluster sweeps")
+    sp.add_argument("--apps", nargs="+", choices=APP_NAMES)
+    sp.set_defaults(func=cmd_fig2)
+
+    sp = sub.add_parser("fig3", help="Ocean small problem, infinite cache")
+    sp.set_defaults(func=cmd_fig3)
+
+    for num, app in CAPACITY_FIGURES.items():
+        sp = sub.add_parser(f"fig{num}",
+                            help=f"finite capacity effects for {app}")
+        sp.set_defaults(func=lambda a, n=num: cmd_capacity_figure(a, n))
+
+    for num, fn in ((1, cmd_table1), (4, cmd_table4)):
+        sp = sub.add_parser(f"table{num}")
+        sp.set_defaults(func=fn)
+
+    sp = sub.add_parser("table5", help="load-latency expansion factors")
+    sp.add_argument("--measure", action="store_true",
+                    help="also measure factors on this engine (slow)")
+    sp.set_defaults(func=cmd_table5)
+
+    sp = sub.add_parser("table6", help="4KB caches + shared-cache costs")
+    sp.set_defaults(func=cmd_table6)
+    sp = sub.add_parser("table7", help="infinite caches + shared-cache costs")
+    sp.set_defaults(func=cmd_table7)
+
+    sp = sub.add_parser("workingset", help="miss rate vs cache size")
+    sp.add_argument("app", choices=APP_NAMES)
+    sp.add_argument("--clusters", type=int, default=1)
+    sp.set_defaults(func=cmd_workingset)
+
+    sp = sub.add_parser("merge", help="load-vs-merge anatomy per cluster size")
+    sp.add_argument("app", choices=APP_NAMES)
+    sp.add_argument("--cache", default="inf")
+    sp.set_defaults(func=cmd_merge)
+
+    sp = sub.add_parser("compare",
+                        help="shared-cache vs snoopy shared-memory cluster")
+    sp.add_argument("app", choices=APP_NAMES)
+    sp.add_argument("--clusters", type=int, default=4)
+    sp.add_argument("--cache", default="4")
+    sp.set_defaults(func=cmd_compare)
+
+    sp = sub.add_parser("trace", help="record a reference trace")
+    sp.add_argument("app", choices=APP_NAMES)
+    sp.add_argument("--clusters", type=int, default=1)
+    sp.add_argument("--cache", default="inf")
+    sp.add_argument("--output", help="save the trace to this .npz file")
+    sp.set_defaults(func=cmd_trace)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

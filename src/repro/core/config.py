@@ -1,0 +1,211 @@
+"""Machine configuration: cluster geometry, cache sizing, and the paper's
+Table 1 latency model.
+
+The paper's fixed experimental frame (§3.1):
+
+* 64 processors total, clustered 1 / 2 / 4 / 8 per cluster (we also allow a
+  64-way "one big cluster" used for the ``inf`` bar of Figure 3);
+* one shared, fully associative, LRU cluster cache per cluster, 64-byte
+  lines, sized *per processor* (so an 8-way cluster with 4 KB/processor has
+  one 32 KB shared cache);
+* distributed memory with full-bit-vector directories and the latencies of
+  Table 1.
+
+Everything the rest of the library needs to know about the machine lives in
+:class:`MachineConfig`; experiments construct variants with
+:meth:`MachineConfig.with_clusters` / :meth:`with_cache_kb`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["DEFAULT_LINE_SIZE", "DEFAULT_PAGE_SIZE", "LatencyModel",
+           "MachineConfig", "PAPER_CLUSTER_SIZES", "PAPER_CACHE_SIZES_KB"]
+
+#: Cache line size used throughout the paper's experiments (bytes).
+DEFAULT_LINE_SIZE = 64
+
+#: Page size used for first-touch round-robin allocation (bytes).  The paper
+#: does not state one; 4 KB is the canonical choice for DASH-era machines.
+DEFAULT_PAGE_SIZE = 4096
+
+#: Cluster sizes swept throughout the paper's evaluation.
+PAPER_CLUSTER_SIZES = (1, 2, 4, 8)
+
+#: Finite per-processor cache sizes of Figures 4-8, in KB (None = infinite).
+PAPER_CACHE_SIZES_KB = (4, 16, 32, None)
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Memory-operation latencies in processor cycles (paper Table 1).
+
+    ================================================================  ======
+    Memory operation                                                  Cycles
+    ================================================================  ======
+    Hit in cache (1 processor per cluster)                                 1
+    Hit in cache (2 processors per cluster)                                2
+    Hit in cache (4 and 8 processors per cluster)                          3
+    Miss to local home, satisfied by home (dir SHARED/NOT_CACHED)         30
+    Miss to local home, satisfied by remote cluster (dir EXCL)           100
+    Miss to remote home, satisfied by home (dir NOT_CACHED/SHARED)       100
+    Miss to remote home, satisfied by third-party cluster (dir EXCL)     150
+    ================================================================  ======
+
+    The event-driven engine simulates with single-cycle hits (as the paper's
+    Tango-lite runs did); the cluster-size-dependent hit time enters only
+    through the §6 shared-cache cost estimator.
+    """
+
+    local_clean: int = 30
+    local_dirty_remote: int = 100
+    remote_clean: int = 100
+    remote_dirty_third_party: int = 150
+    #: hit latency by processors-per-cluster; larger clusters use the max.
+    hit_by_cluster_size: tuple[tuple[int, int], ...] = ((1, 1), (2, 2), (4, 3), (8, 3))
+
+    def hit_cycles(self, cluster_size: int) -> int:
+        """Shared-cache hit time for a given cluster size (Table 1 rows 1-3).
+
+        Cluster sizes beyond the table (e.g. the 64-way 'inf' configuration)
+        use the largest tabulated value.
+        """
+        if cluster_size <= 0:
+            raise ValueError("cluster_size must be positive")
+        best = None
+        for size, cycles in self.hit_by_cluster_size:
+            if cluster_size >= size:
+                best = cycles
+        if best is None:
+            raise ValueError(f"no hit latency tabulated at or below {cluster_size}")
+        return best
+
+    def miss_cycles(self, requester: int, home: int, dirty_owner: int | None) -> int:
+        """Latency of a miss serviced by the directory protocol.
+
+        Parameters
+        ----------
+        requester:
+            Cluster issuing the miss.
+        home:
+            Home cluster of the line.
+        dirty_owner:
+            Cluster holding the line EXCLUSIVE, or ``None`` when the
+            directory can supply the data itself (NOT_CACHED / SHARED).
+        """
+        if dirty_owner is None:
+            return self.local_clean if requester == home else self.remote_clean
+        if dirty_owner == requester:
+            raise ValueError("requesting cluster cannot be the dirty owner on a miss")
+        if requester == home:
+            # 2 hops: requester(=home) -> owner -> requester.
+            return self.local_dirty_remote
+        if dirty_owner == home:
+            # Data dirty in the home cluster's own cache: satisfied by home.
+            return self.remote_clean
+        return self.remote_dirty_third_party
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete description of one simulated machine organisation.
+
+    Attributes
+    ----------
+    n_processors:
+        Total processor count (the paper fixes 64).
+    cluster_size:
+        Processors sharing one cluster cache; must divide ``n_processors``.
+    cache_kb_per_processor:
+        Per-processor share of the cluster cache in KB, or ``None`` for
+        infinite caches.  Cluster capacity = this × ``cluster_size``.
+    associativity:
+        ``None`` = fully associative (the paper's model); an int enables the
+        set-associative extension.
+    line_size, page_size:
+        Geometry in bytes.
+    latency:
+        The Table 1 latency model.
+    """
+
+    n_processors: int = 64
+    cluster_size: int = 1
+    cache_kb_per_processor: float | None = None
+    associativity: int | None = None
+    line_size: int = DEFAULT_LINE_SIZE
+    page_size: int = DEFAULT_PAGE_SIZE
+    latency: LatencyModel = field(default_factory=LatencyModel)
+
+    def __post_init__(self) -> None:
+        if self.n_processors <= 0:
+            raise ValueError("n_processors must be positive")
+        if self.cluster_size <= 0:
+            raise ValueError("cluster_size must be positive")
+        if self.n_processors % self.cluster_size != 0:
+            raise ValueError(
+                f"cluster_size {self.cluster_size} does not divide "
+                f"n_processors {self.n_processors}"
+            )
+        if self.cache_kb_per_processor is not None and self.cache_kb_per_processor <= 0:
+            raise ValueError("cache_kb_per_processor must be positive or None")
+        if self.line_size <= 0 or self.page_size % self.line_size != 0:
+            raise ValueError("page_size must be a positive multiple of line_size")
+        if self.associativity is not None and self.associativity <= 0:
+            raise ValueError("associativity must be positive or None")
+
+    # ---------------------------------------------------------------- derived
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters (= directory/memory nodes) in the machine."""
+        return self.n_processors // self.cluster_size
+
+    @property
+    def cluster_cache_lines(self) -> int | None:
+        """Cluster cache capacity in lines (``None`` = infinite)."""
+        if self.cache_kb_per_processor is None:
+            return None
+        total_bytes = self.cache_kb_per_processor * 1024 * self.cluster_size
+        lines = int(total_bytes // self.line_size)
+        return max(lines, 1)
+
+    def cluster_of(self, processor: int) -> int:
+        """Cluster that processor ``processor`` belongs to.
+
+        Processors are assigned to clusters contiguously (0..k-1 in cluster
+        0, ...), matching how SPLASH codes map neighbouring process ids to
+        neighbouring partitions — this contiguity is what lets clustering
+        capture near-neighbour communication (paper §4, Ocean discussion).
+        """
+        if not (0 <= processor < self.n_processors):
+            raise ValueError(f"processor {processor} out of range")
+        return processor // self.cluster_size
+
+    def processors_of(self, cluster: int) -> range:
+        """Processor ids belonging to ``cluster``."""
+        if not (0 <= cluster < self.n_clusters):
+            raise ValueError(f"cluster {cluster} out of range")
+        lo = cluster * self.cluster_size
+        return range(lo, lo + self.cluster_size)
+
+    # ---------------------------------------------------------------- variants
+    def with_clusters(self, cluster_size: int) -> "MachineConfig":
+        """Copy of this config with a different cluster size."""
+        return replace(self, cluster_size=cluster_size)
+
+    def with_cache_kb(self, cache_kb_per_processor: float | None) -> "MachineConfig":
+        """Copy of this config with a different per-processor cache size."""
+        return replace(self, cache_kb_per_processor=cache_kb_per_processor)
+
+    def with_associativity(self, associativity: int | None) -> "MachineConfig":
+        """Copy of this config with a different cache associativity."""
+        return replace(self, associativity=associativity)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        cache = ("inf" if self.cache_kb_per_processor is None
+                 else f"{self.cache_kb_per_processor:g}KB/proc")
+        assoc = "full" if self.associativity is None else f"{self.associativity}-way"
+        return (f"{self.n_processors}p, {self.cluster_size}/cluster "
+                f"({self.n_clusters} clusters), cache {cache} ({assoc}), "
+                f"{self.line_size}B lines")

@@ -1,0 +1,183 @@
+"""Result metrics: execution-time breakdown and miss accounting.
+
+The paper reports every experiment as a stacked bar of **normalized execution
+time** split into four components (Figures 2-8):
+
+* ``cpu``   — busy time: computation plus single-cycle cache hits,
+* ``load``  — read-miss stall time (only READ misses stall; WRITE and
+  UPGRADE latencies are hidden by store buffers + relaxed consistency, §3.1),
+* ``merge`` — time blocked on a line already being fetched by a cluster-mate
+  (the paper's *merge stall*, the signature of too-late prefetching),
+* ``sync``  — barrier/lock wait time, including end-of-program slack.
+
+Misses are classified along two axes: the paper's protocol kinds
+(READ / WRITE / UPGRADE, §3.1) and the textbook cause classes the paper's
+argument rests on (cold, coherence/communication, capacity — §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["MissKind", "MissCause", "MissCounters", "TimeBreakdown",
+           "RunResult"]
+
+
+class MissKind(Enum):
+    """Protocol-level miss taxonomy (paper §3.1)."""
+
+    READ = "read"        #: read access, line absent — the only stalling miss
+    WRITE = "write"      #: write access, line absent
+    UPGRADE = "upgrade"  #: write access, line present but SHARED
+    MERGE = "merge"      #: read to a line with an outstanding fill
+
+
+class MissCause(Enum):
+    """Cause-level miss taxonomy used in the paper's analysis (§2)."""
+
+    COLD = "cold"            #: first access to the line by this cluster
+    COHERENCE = "coherence"  #: line previously invalidated out of the cluster
+    CAPACITY = "capacity"    #: line previously replaced (finite caches only)
+
+
+@dataclass
+class MissCounters:
+    """Counts of references, hits, and misses by kind and by cause."""
+
+    references: int = 0
+    reads: int = 0
+    writes: int = 0
+    hits: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    upgrade_misses: int = 0
+    merges: int = 0
+    #: merged reads whose line was invalidated mid-flight and re-fetched
+    merge_refetches: int = 0
+    #: first hit by a processor other than the one whose miss fetched the
+    #: line — the cluster *prefetching* benefit of the paper's §2
+    prefetch_hits: int = 0
+    by_cause: dict[MissCause, int] = field(
+        default_factory=lambda: {c: 0 for c in MissCause})
+
+    @property
+    def misses(self) -> int:
+        """READ + WRITE misses (the paper's cluster-memory miss count).
+
+        UPGRADEs are not data fetches and MERGEs piggyback on an existing
+        fetch, so neither adds to the miss count.
+        """
+        return self.read_misses + self.write_misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per reference (0.0 when nothing was referenced)."""
+        return self.misses / self.references if self.references else 0.0
+
+    def record_cause(self, cause: MissCause) -> None:
+        """Attribute one miss to a cause class."""
+        self.by_cause[cause] += 1
+
+    def merged_into(self, other: "MissCounters") -> None:
+        """Accumulate self into ``other`` (used to aggregate clusters)."""
+        other.references += self.references
+        other.reads += self.reads
+        other.writes += self.writes
+        other.hits += self.hits
+        other.read_misses += self.read_misses
+        other.write_misses += self.write_misses
+        other.upgrade_misses += self.upgrade_misses
+        other.merges += self.merges
+        other.merge_refetches += self.merge_refetches
+        other.prefetch_hits += self.prefetch_hits
+        for cause, n in self.by_cause.items():
+            other.by_cause[cause] += n
+
+
+@dataclass
+class TimeBreakdown:
+    """Execution time split into the paper's four stacked components."""
+
+    cpu: int = 0
+    load: int = 0
+    merge: int = 0
+    sync: int = 0
+
+    @property
+    def total(self) -> int:
+        """Sum of all components (for one processor: its wall-clock time)."""
+        return self.cpu + self.load + self.merge + self.sync
+
+    def add(self, other: "TimeBreakdown") -> None:
+        """Accumulate another breakdown into this one."""
+        self.cpu += other.cpu
+        self.load += other.load
+        self.merge += other.merge
+        self.sync += other.sync
+
+    def scaled(self, factor: float) -> "TimeBreakdown":
+        """Breakdown with every component multiplied by ``factor``.
+
+        Used by the §6 shared-cache cost estimator; components become
+        floats conceptually but are kept as rounded ints to preserve the
+        sum-to-total invariant approximately.
+        """
+        return TimeBreakdown(
+            cpu=round(self.cpu * factor),
+            load=round(self.load * factor),
+            merge=round(self.merge * factor),
+            sync=round(self.sync * factor),
+        )
+
+    def fractions(self) -> dict[str, float]:
+        """Each component as a fraction of the total (zeros if empty)."""
+        t = self.total
+        if t == 0:
+            return {"cpu": 0.0, "load": 0.0, "merge": 0.0, "sync": 0.0}
+        return {"cpu": self.cpu / t, "load": self.load / t,
+                "merge": self.merge / t, "sync": self.sync / t}
+
+    def normalized_to(self, baseline_total: int) -> dict[str, float]:
+        """Components as percentages of a baseline run's total time.
+
+        This is exactly the paper's bar format: every bar is normalized to
+        the 1-processor-per-cluster execution time, so the baseline bar
+        reads 100.0 and the components stack to the bar height.
+        """
+        if baseline_total <= 0:
+            raise ValueError("baseline_total must be positive")
+        s = 100.0 / baseline_total
+        return {"cpu": self.cpu * s, "load": self.load * s,
+                "merge": self.merge * s, "sync": self.sync * s,
+                "total": self.total * s}
+
+
+@dataclass
+class RunResult:
+    """Everything one simulation run produces.
+
+    Attributes
+    ----------
+    execution_time:
+        Global finish time in cycles (max over processors).
+    breakdown:
+        Mean per-processor time breakdown.  Its ``total`` equals
+        ``execution_time`` because end-of-run slack is charged to ``sync``.
+    per_processor:
+        Each processor's own breakdown, in processor order.
+    misses:
+        Aggregate miss counters over all clusters.
+    per_cluster_misses:
+        Miss counters per cluster, in cluster order.
+    """
+
+    execution_time: int
+    breakdown: TimeBreakdown
+    per_processor: list[TimeBreakdown]
+    misses: MissCounters
+    per_cluster_misses: list[MissCounters]
+
+    @property
+    def n_processors(self) -> int:
+        return len(self.per_processor)

@@ -1,0 +1,127 @@
+"""Processor-count scaling: does clustering "push out" usable parallelism?
+
+The paper's §4 closes its Ocean discussion with a forward-looking claim it
+never quantifies: *"clustering may push out the number of processors that
+can be used effectively on a fixed problem size"*, and repeats it in §4's
+summary ("the best argument that can be made for clustering ... is that it
+pushes out the number of processors that can be used effectively").
+
+This module measures exactly that.  For a fixed problem, sweep the total
+processor count with and without clustering and compare
+
+* the **speedup curve** T(P₀)/T(P) (anchored at the smallest P), and
+* the **effective processor count**: the largest P whose marginal speedup
+  from the previous point still exceeds a threshold (beyond it, adding
+  processors is no longer "effective").
+
+If the paper's claim holds, the clustered machine's speedup curve rolls
+over later — its effective processor count is ≥ the unclustered one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..apps.registry import build_app
+from .config import MachineConfig
+
+__all__ = ["ScalingPoint", "ScalingCurve", "scaling_curve",
+           "effective_processors", "pushout"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One processor count on a scaling curve."""
+
+    n_processors: int
+    execution_time: int
+
+    def speedup_over(self, base: "ScalingPoint") -> float:
+        """Wall-clock speedup of this point relative to ``base``."""
+        return base.execution_time / self.execution_time
+
+
+@dataclass
+class ScalingCurve:
+    """Execution time vs processor count at a fixed cluster size."""
+
+    app: str
+    cluster_size: int
+    points: list[ScalingPoint] = field(default_factory=list)
+
+    def speedups(self) -> dict[int, float]:
+        """Speedup relative to the smallest processor count measured."""
+        if not self.points:
+            return {}
+        base = min(self.points, key=lambda p: p.n_processors)
+        return {p.n_processors: base.execution_time / p.execution_time
+                for p in sorted(self.points, key=lambda p: p.n_processors)}
+
+
+def scaling_curve(app: str, processor_counts: Sequence[int],
+                  cluster_size: int = 1,
+                  cache_kb: float | None = None,
+                  app_kwargs: dict[str, Any] | None = None,
+                  seed: int = 12345) -> ScalingCurve:
+    """Measure T(P) for a fixed problem at one cluster size.
+
+    ``cluster_size`` must divide every entry of ``processor_counts``.
+    The same seed builds the identical problem at every point.
+    """
+    curve = ScalingCurve(app, cluster_size)
+    for n in processor_counts:
+        if n % cluster_size:
+            raise ValueError(
+                f"cluster size {cluster_size} does not divide P={n}")
+        config = MachineConfig(n_processors=n, cluster_size=cluster_size,
+                               cache_kb_per_processor=cache_kb)
+        application = build_app(app, config, seed=seed,
+                                **dict(app_kwargs or {}))
+        curve.points.append(
+            ScalingPoint(n, application.run().execution_time))
+    return curve
+
+
+def effective_processors(curve: ScalingCurve,
+                         marginal_threshold: float = 1.15) -> int:
+    """Largest P still delivering a worthwhile marginal speedup.
+
+    Walking the curve in increasing P, stop before the first doubling-step
+    whose speedup ratio falls below ``marginal_threshold`` (1.15 ⇒ a
+    doubling must buy at least 15% to count as effective).
+    """
+    ordered = sorted(curve.points, key=lambda p: p.n_processors)
+    if not ordered:
+        raise ValueError("empty scaling curve")
+    effective = ordered[0].n_processors
+    for prev, cur in zip(ordered, ordered[1:]):
+        if prev.execution_time / cur.execution_time >= marginal_threshold:
+            effective = cur.n_processors
+        else:
+            break
+    return effective
+
+
+def pushout(app: str, processor_counts: Sequence[int], cluster_size: int,
+            cache_kb: float | None = None,
+            app_kwargs: dict[str, Any] | None = None,
+            marginal_threshold: float = 1.15,
+            ) -> dict[str, Any]:
+    """The §4 claim, quantified: unclustered vs clustered scaling.
+
+    Returns both curves' speedups and effective processor counts.
+    """
+    flat = scaling_curve(app, processor_counts, 1, cache_kb, app_kwargs)
+    clustered = scaling_curve(app, processor_counts, cluster_size,
+                              cache_kb, app_kwargs)
+    return {
+        "app": app,
+        "cluster_size": cluster_size,
+        "speedups_unclustered": flat.speedups(),
+        "speedups_clustered": clustered.speedups(),
+        "effective_unclustered": effective_processors(flat,
+                                                      marginal_threshold),
+        "effective_clustered": effective_processors(clustered,
+                                                    marginal_threshold),
+    }

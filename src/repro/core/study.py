@@ -1,0 +1,136 @@
+"""Sweep driver: run one application across cluster sizes and cache sizes.
+
+This module is the experimental harness behind every figure of the paper:
+
+* :meth:`ClusteringStudy.cluster_sweep` — fix the per-processor cache size
+  (or infinite), vary processors-per-cluster (Figures 2 and 3);
+* :meth:`ClusteringStudy.capacity_sweep` — the full cache-size ×
+  cluster-size grid (Figures 4-8);
+* :func:`normalize_sweep` — the paper's normalization: every bar is
+  expressed as a percentage of the 1-processor-per-cluster execution time
+  *at the same cache size* ("The bars for every cache size ... are
+  normalized to the 1 processor per cache time with that cache size").
+
+Every point builds a **fresh application instance** (applications carry
+their numerical state) with the same seed, so all configurations solve the
+identical problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..apps.registry import build_app
+from .config import (PAPER_CACHE_SIZES_KB, PAPER_CLUSTER_SIZES, MachineConfig)
+from .metrics import RunResult
+
+__all__ = ["SweepPoint", "ClusteringStudy", "normalize_sweep",
+           "CacheKey", "cache_label"]
+
+#: a per-processor cache size in KB, or None for infinite
+CacheKey = float | int | None
+
+
+def cache_label(cache_kb: CacheKey) -> str:
+    """Human label for a cache size key ('4k', '32k', 'inf')."""
+    return "inf" if cache_kb is None else f"{cache_kb:g}k"
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulated configuration and its outcome."""
+
+    app: str
+    cluster_size: int
+    cache_kb: CacheKey
+    result: RunResult
+
+    @property
+    def execution_time(self) -> int:
+        return self.result.execution_time
+
+
+@dataclass
+class ClusteringStudy:
+    """Runs one application over the paper's machine-organisation grid.
+
+    Parameters
+    ----------
+    app:
+        Registry name of the application.
+    base_config:
+        Machine template; cluster size and cache size are overridden per
+        point.  Defaults to the paper's 64-processor machine.
+    app_kwargs:
+        Problem-size overrides forwarded to the application constructor.
+    """
+
+    app: str
+    base_config: MachineConfig = field(default_factory=MachineConfig)
+    app_kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def run_point(self, cluster_size: int, cache_kb: CacheKey) -> SweepPoint:
+        """Simulate one (cluster size, cache size) configuration."""
+        config = self.base_config.with_clusters(cluster_size).with_cache_kb(
+            None if cache_kb is None else float(cache_kb))
+        application = build_app(self.app, config, **self.app_kwargs)
+        return SweepPoint(self.app, cluster_size, cache_kb, application.run())
+
+    def cluster_sweep(self, cache_kb: CacheKey = None,
+                      cluster_sizes: Iterable[int] = PAPER_CLUSTER_SIZES,
+                      ) -> dict[int, SweepPoint]:
+        """Vary processors-per-cluster at one cache size (Figure 2/3 axis)."""
+        return {c: self.run_point(c, cache_kb) for c in cluster_sizes}
+
+    def capacity_sweep(self, cache_sizes: Iterable[CacheKey] = PAPER_CACHE_SIZES_KB,
+                       cluster_sizes: Iterable[int] = PAPER_CLUSTER_SIZES,
+                       ) -> dict[tuple[CacheKey, int], SweepPoint]:
+        """The cache-size × cluster-size grid of Figures 4-8."""
+        out: dict[tuple[CacheKey, int], SweepPoint] = {}
+        for kb in cache_sizes:
+            for c in cluster_sizes:
+                out[(kb, c)] = self.run_point(c, kb)
+        return out
+
+
+def normalize_sweep(points: Mapping[tuple[CacheKey, int], SweepPoint] |
+                    Mapping[int, SweepPoint],
+                    baseline_cluster: int = 1,
+                    ) -> dict[Any, dict[str, float]]:
+    """Express every point's breakdown as % of its cache size's baseline.
+
+    Accepts either a cluster sweep (``{cluster: point}``) or a capacity
+    sweep (``{(cache_kb, cluster): point}``).  Each group of points sharing
+    a cache size is normalized to the ``baseline_cluster`` member of that
+    group, reproducing the paper's bar heights (baseline bar = 100.0).
+    """
+    items = list(points.items())
+    if not items:
+        return {}
+    if isinstance(items[0][0], tuple):
+        def group_of(key: Any) -> Any:
+            return key[0]
+
+        def cluster_of(key: Any) -> int:
+            return key[1]
+    else:
+        def group_of(key: Any) -> Any:
+            return None
+
+        def cluster_of(key: Any) -> int:
+            return key
+
+    baselines: dict[Any, int] = {}
+    for key, point in items:
+        if cluster_of(key) == baseline_cluster:
+            baselines[group_of(key)] = point.result.execution_time
+    out: dict[Any, dict[str, float]] = {}
+    for key, point in items:
+        base = baselines.get(group_of(key))
+        if base is None:
+            raise ValueError(
+                f"no baseline (cluster={baseline_cluster}) run for group "
+                f"{group_of(key)!r}")
+        out[key] = point.result.breakdown.normalized_to(base)
+    return out

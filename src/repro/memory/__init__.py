@@ -1,0 +1,22 @@
+"""Memory-system substrate: address space, page placement, cluster caches,
+full-bit-vector directory, and the invalidation coherence protocol."""
+
+from .address import AddressSpace, Region, line_of, page_of
+from .allocation import PageAllocator
+from .cache import (EXCLUSIVE, SHARED, Eviction, FullyAssociativeCache,
+                    LineEntry, SetAssociativeCache, make_cache)
+from .coherence import (READ_HIT, READ_MERGE, READ_MISS,
+                        CoherentMemorySystem)
+from .directory import (DIR_EXCLUSIVE, DIR_SHARED, NOT_CACHED, DirEntry,
+                        Directory)
+from .snoopy import SnoopyClusterMemorySystem
+
+__all__ = [
+    "AddressSpace", "Region", "line_of", "page_of",
+    "PageAllocator",
+    "SHARED", "EXCLUSIVE", "LineEntry", "Eviction",
+    "FullyAssociativeCache", "SetAssociativeCache", "make_cache",
+    "NOT_CACHED", "DIR_SHARED", "DIR_EXCLUSIVE", "DirEntry", "Directory",
+    "READ_HIT", "READ_MERGE", "READ_MISS", "CoherentMemorySystem",
+    "SnoopyClusterMemorySystem",
+]

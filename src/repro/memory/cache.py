@@ -1,0 +1,275 @@
+"""Cluster caches: fully associative LRU (the paper's model) and a
+set-associative variant (the paper's stated future work on destructive
+interference under limited associativity).
+
+Paper §3.1: *"the caches that are simulated are fully associative caches with
+an LRU replacement policy ... we do not want to include the effect of
+conflict misses that are due to limited associativity."*
+
+A cache holds *lines* (line numbers, not byte addresses).  Each resident line
+carries
+
+* a coherence state — ``SHARED`` or ``EXCLUSIVE`` (absence is INVALID), and
+* a ``pending_until`` timestamp: the simulated time at which an outstanding
+  fill for the line returns.  A read that finds the line pending is the
+  paper's **merge miss** and stalls until that time.
+
+The fully associative cache exploits CPython dict ordering for LRU: dicts
+iterate in insertion order, so re-inserting a line on every touch makes the
+first key the least recently used.  This gives O(1) lookup, touch and
+eviction with no auxiliary list.
+
+Infinite caches (``capacity_lines is None``) never evict; the paper uses them
+to isolate cold and coherence misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "SHARED",
+    "EXCLUSIVE",
+    "LineEntry",
+    "Eviction",
+    "FullyAssociativeCache",
+    "SetAssociativeCache",
+    "make_cache",
+]
+
+#: Coherence state: line readable, possibly cached by other clusters too.
+SHARED = 1
+#: Coherence state: line writable, this cluster is the sole owner.
+EXCLUSIVE = 2
+
+_STATE_NAMES = {SHARED: "SHARED", EXCLUSIVE: "EXCLUSIVE"}
+
+
+class LineEntry:
+    """Mutable per-line cache metadata.
+
+    ``fetcher`` records which processor's miss brought the line in; the
+    protocol layer uses it to count *cluster prefetch hits* — the first
+    access by a different processor of the same cluster, which is exactly
+    the prefetching benefit of the paper's §2.  It is set to ``-1`` once
+    counted (or when the notion stops being meaningful, e.g. upgrades).
+    """
+
+    __slots__ = ("state", "pending_until", "fetcher")
+
+    def __init__(self, state: int, pending_until: int = 0,
+                 fetcher: int = -1) -> None:
+        self.state = state
+        self.pending_until = pending_until
+        self.fetcher = fetcher
+
+    def is_pending(self, now: int) -> bool:
+        """Whether an outstanding fill for this line is still in flight."""
+        return self.pending_until > now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"LineEntry({_STATE_NAMES.get(self.state, self.state)}, "
+                f"pending_until={self.pending_until})")
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A line pushed out of the cache; the protocol layer notifies the
+    directory (replacement hint for SHARED, writeback for EXCLUSIVE)."""
+
+    line: int
+    state: int
+
+
+class FullyAssociativeCache:
+    """Fully associative LRU cache over whole lines.
+
+    Parameters
+    ----------
+    capacity_lines:
+        Number of lines the cache holds, or ``None`` for an infinite cache.
+    """
+
+    __slots__ = ("capacity_lines", "_lines", "evictions", "inserts")
+
+    def __init__(self, capacity_lines: int | None) -> None:
+        if capacity_lines is not None and capacity_lines <= 0:
+            raise ValueError(
+                f"capacity_lines must be positive or None, got {capacity_lines}"
+            )
+        self.capacity_lines = capacity_lines
+        self._lines: dict[int, LineEntry] = {}
+        #: lifetime counters, used by tests and the working-set profiler
+        self.evictions = 0
+        self.inserts = 0
+
+    # ------------------------------------------------------------------ hot
+    def lookup(self, line: int) -> LineEntry | None:
+        """Return the entry for ``line`` and refresh its LRU position."""
+        entry = self._lines.get(line)
+        if entry is not None and self.capacity_lines is not None:
+            # Move to MRU position: delete + reinsert keeps dict order = LRU.
+            del self._lines[line]
+            self._lines[line] = entry
+        return entry
+
+    def peek(self, line: int) -> LineEntry | None:
+        """Return the entry for ``line`` without touching LRU order."""
+        return self._lines.get(line)
+
+    def insert(self, line: int, state: int, pending_until: int = 0,
+               fetcher: int = -1) -> Eviction | None:
+        """Install ``line``; return the victim eviction if one was needed.
+
+        The line being inserted must not already be resident (the protocol
+        layer upgrades in place via the returned :class:`LineEntry` of
+        :meth:`lookup` instead of re-inserting).
+        """
+        if line in self._lines:
+            raise ValueError(f"line {line:#x} already resident")
+        victim: Eviction | None = None
+        if self.capacity_lines is not None and len(self._lines) >= self.capacity_lines:
+            victim_line = next(iter(self._lines))
+            victim_entry = self._lines.pop(victim_line)
+            victim = Eviction(victim_line, victim_entry.state)
+            self.evictions += 1
+        self._lines[line] = LineEntry(state, pending_until, fetcher)
+        self.inserts += 1
+        return victim
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` (even if pending).  True if it was resident."""
+        return self._lines.pop(line, None) is not None
+
+    def downgrade(self, line: int) -> None:
+        """EXCLUSIVE → SHARED in place (remote read to a dirty line)."""
+        entry = self._lines.get(line)
+        if entry is None:
+            raise KeyError(f"line {line:#x} not resident; cannot downgrade")
+        entry.state = SHARED
+
+    # ---------------------------------------------------------------- query
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._lines
+
+    @property
+    def is_infinite(self) -> bool:
+        """Whether this cache never evicts."""
+        return self.capacity_lines is None
+
+    def resident_lines(self) -> list[int]:
+        """All resident line numbers in LRU → MRU order."""
+        return list(self._lines)
+
+    def state_of(self, line: int) -> int | None:
+        """Coherence state of ``line`` or ``None`` if absent (no LRU touch)."""
+        entry = self._lines.get(line)
+        return None if entry is None else entry.state
+
+
+class SetAssociativeCache:
+    """Set-associative LRU cache (extension E-X1: destructive interference).
+
+    The paper's §7 names "the destructive interference due to limited
+    associativity" as follow-on work; this class lets the same protocol
+    engine run with realistic associativity.  Sets are indexed by
+    ``line % n_sets``, each set an independent LRU dict.
+
+    The public surface mirrors :class:`FullyAssociativeCache` so the
+    coherence engine is agnostic to which is plugged in.
+    """
+
+    __slots__ = ("capacity_lines", "associativity", "n_sets", "_sets",
+                 "evictions", "inserts")
+
+    def __init__(self, capacity_lines: int, associativity: int) -> None:
+        if capacity_lines <= 0:
+            raise ValueError("capacity_lines must be positive")
+        if associativity <= 0:
+            raise ValueError("associativity must be positive")
+        if capacity_lines % associativity != 0:
+            raise ValueError(
+                f"capacity {capacity_lines} not divisible by "
+                f"associativity {associativity}"
+            )
+        self.capacity_lines = capacity_lines
+        self.associativity = associativity
+        self.n_sets = capacity_lines // associativity
+        self._sets: list[dict[int, LineEntry]] = [dict() for _ in range(self.n_sets)]
+        self.evictions = 0
+        self.inserts = 0
+
+    def _set_for(self, line: int) -> dict[int, LineEntry]:
+        return self._sets[line % self.n_sets]
+
+    def lookup(self, line: int) -> LineEntry | None:
+        s = self._set_for(line)
+        entry = s.get(line)
+        if entry is not None:
+            del s[line]
+            s[line] = entry
+        return entry
+
+    def peek(self, line: int) -> LineEntry | None:
+        return self._set_for(line).get(line)
+
+    def insert(self, line: int, state: int, pending_until: int = 0,
+               fetcher: int = -1) -> Eviction | None:
+        s = self._set_for(line)
+        if line in s:
+            raise ValueError(f"line {line:#x} already resident")
+        victim: Eviction | None = None
+        if len(s) >= self.associativity:
+            victim_line = next(iter(s))
+            victim_entry = s.pop(victim_line)
+            victim = Eviction(victim_line, victim_entry.state)
+            self.evictions += 1
+        s[line] = LineEntry(state, pending_until, fetcher)
+        self.inserts += 1
+        return victim
+
+    def invalidate(self, line: int) -> bool:
+        return self._set_for(line).pop(line, None) is not None
+
+    def downgrade(self, line: int) -> None:
+        entry = self._set_for(line).get(line)
+        if entry is None:
+            raise KeyError(f"line {line:#x} not resident; cannot downgrade")
+        entry.state = SHARED
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._set_for(line)
+
+    @property
+    def is_infinite(self) -> bool:
+        return False
+
+    def resident_lines(self) -> list[int]:
+        out: list[int] = []
+        for s in self._sets:
+            out.extend(s)
+        return out
+
+    def state_of(self, line: int) -> int | None:
+        entry = self._set_for(line).get(line)
+        return None if entry is None else entry.state
+
+
+def make_cache(capacity_lines: int | None, associativity: int | None = None):
+    """Build the cache the configuration asks for.
+
+    ``associativity=None`` (the paper's setting) gives a fully associative
+    cache; an integer gives the set-associative extension.  Infinite caches
+    are necessarily fully associative.
+    """
+    if associativity is None or capacity_lines is None:
+        return FullyAssociativeCache(capacity_lines)
+    if associativity >= capacity_lines:
+        return FullyAssociativeCache(capacity_lines)
+    return SetAssociativeCache(capacity_lines, associativity)

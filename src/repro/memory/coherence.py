@@ -1,0 +1,286 @@
+"""Directory-based invalidation coherence over shared-cache clusters.
+
+This is the protocol of the paper's simulated architecture (§3.1, Figure 1):
+nodes of processors clustered around one shared cache, distributed memory,
+full-bit-vector directories with replacement hints, invalidation-based
+coherence with cache states INVALID / SHARED / EXCLUSIVE and directory
+states NOT_CACHED / SHARED / EXCLUSIVE.
+
+Semantics implemented verbatim from the paper:
+
+* READ misses fetch the line SHARED and are the only misses that stall the
+  processor; WRITE and UPGRADE miss latencies are assumed hidden by store
+  buffers and relaxed consistency, but their fills still leave the line
+  *pending* in the cache.
+* A READ to a pending line is a **MERGE MISS**: the reader blocks until the
+  outstanding fill returns.  If the line is invalidated while pending, the
+  reader must fetch it again (a *merge refetch*).
+* Invalidations are instantaneous and may invalidate pending lines.
+* SHARED evictions send replacement hints; EXCLUSIVE evictions write back.
+
+The protocol operates at *cluster* granularity: all processors behind one
+shared cache are a single coherence participant, which is exactly the
+mechanism by which clustering obviates communication.
+
+The two hot entry points, :meth:`CoherentMemorySystem.read` and
+:meth:`CoherentMemorySystem.write`, take line numbers (the simulation engine
+divides byte addresses by the line size once).
+"""
+
+from __future__ import annotations
+
+from ..core.config import MachineConfig
+from ..core.metrics import MissCause, MissCounters
+from .allocation import PageAllocator
+from .cache import EXCLUSIVE, SHARED, Eviction, make_cache
+from .directory import DIR_EXCLUSIVE, DIR_SHARED, NOT_CACHED, Directory
+
+__all__ = ["READ_HIT", "READ_MERGE", "READ_MISS", "CoherentMemorySystem"]
+
+#: read() outcome tags (plain ints for speed on the hot path)
+READ_HIT = 0
+READ_MERGE = 1
+READ_MISS = 2
+
+# line-history markers for miss-cause classification
+_RESIDENT = 0
+_EVICTED = 1
+_INVALIDATED = 2
+
+
+class CoherentMemorySystem:
+    """One coherent memory system: cluster caches + directory + allocator.
+
+    Parameters
+    ----------
+    config:
+        Machine organisation (cluster geometry, cache sizing, latencies).
+    allocator:
+        Page-home policy; a fresh first-touch round-robin allocator is built
+        if not supplied (applications that place data pass their own).
+    """
+
+    def __init__(self, config: MachineConfig,
+                 allocator: PageAllocator | None = None) -> None:
+        self.config = config
+        self.allocator = allocator if allocator is not None else PageAllocator(
+            config.n_clusters, config.page_size, config.line_size)
+        if self.allocator.n_clusters != config.n_clusters:
+            raise ValueError(
+                f"allocator built for {self.allocator.n_clusters} clusters, "
+                f"machine has {config.n_clusters}")
+        self.directory = Directory(config.n_clusters)
+        capacity = config.cluster_cache_lines
+        self.caches = [make_cache(capacity, config.associativity)
+                       for _ in range(config.n_clusters)]
+        self.counters = [MissCounters() for _ in range(config.n_clusters)]
+        # Per-cluster line history for cold/coherence/capacity classification:
+        # absent = never touched, else one of the marker constants above.
+        self._history: list[dict[int, int]] = [dict() for _ in range(config.n_clusters)]
+        self._cluster_shift = (config.cluster_size.bit_length() - 1
+                               if config.cluster_size & (config.cluster_size - 1) == 0
+                               else None)
+
+    # ------------------------------------------------------------------ hot
+    def cluster_of(self, processor: int) -> int:
+        """Cluster id for a processor (shift when cluster size is a power of 2)."""
+        if self._cluster_shift is not None:
+            return processor >> self._cluster_shift
+        return processor // self.config.cluster_size
+
+    def read(self, processor: int, line: int, now: int,
+             is_retry: bool = False) -> tuple[int, int]:
+        """Process a read by ``processor`` to ``line`` at time ``now``.
+
+        Returns ``(outcome, stall_cycles)`` where outcome is one of
+        ``READ_HIT`` (stall 0), ``READ_MERGE`` (stall until the outstanding
+        fill returns; the caller must *retry* the read at ``now + stall``
+        with ``is_retry=True``), or ``READ_MISS`` (stall = Table-1 latency;
+        the line is installed pending).
+
+        ``is_retry`` suppresses double-counting of the reference when the
+        engine re-issues a merged read.
+        """
+        cluster = self.cluster_of(processor)
+        ctr = self.counters[cluster]
+        if not is_retry:
+            ctr.references += 1
+            ctr.reads += 1
+        entry = self.caches[cluster].lookup(line)
+        if entry is not None:
+            if entry.pending_until > now:
+                ctr.merges += 1
+                return READ_MERGE, entry.pending_until - now
+            ctr.hits += 1
+            if entry.fetcher not in (-1, processor):
+                # first touch by someone other than the fetching processor:
+                # the fetch acted as a prefetch for this cluster mate
+                ctr.prefetch_hits += 1
+                entry.fetcher = -1
+            return READ_HIT, 0
+        if is_retry:
+            # Line was invalidated while we were merged on its fill.
+            ctr.merge_refetches += 1
+        cause = self._classify(cluster, line)
+        latency = self._read_fill(cluster, line, now, processor)
+        ctr.read_misses += 1
+        ctr.record_cause(cause)
+        return READ_MISS, latency
+
+    def write(self, processor: int, line: int, now: int) -> None:
+        """Process a write by ``processor`` to ``line`` at time ``now``.
+
+        Writes never stall (store buffer + relaxed consistency); they update
+        protocol state, classify the miss, and leave missing lines pending.
+        """
+        cluster = self.cluster_of(processor)
+        ctr = self.counters[cluster]
+        ctr.references += 1
+        ctr.writes += 1
+        cache = self.caches[cluster]
+        entry = cache.lookup(line)
+        if entry is not None:
+            if entry.state == EXCLUSIVE:
+                ctr.hits += 1
+                return
+            # UPGRADE: present but SHARED -> invalidate other sharers.
+            ctr.upgrade_misses += 1
+            self._invalidate_others(line, cluster)
+            self.directory.record_exclusive(line, cluster)
+            entry.state = EXCLUSIVE
+            return
+        # WRITE miss: fetch exclusive; latency hidden but line is pending.
+        cause = self._classify(cluster, line)
+        latency = self._write_fill(cluster, line, now, processor)
+        ctr.write_misses += 1
+        ctr.record_cause(cause)
+        del latency  # latency fully hidden from the processor
+
+    # ----------------------------------------------------------- fill paths
+    def _read_fill(self, cluster: int, line: int, now: int,
+                   processor: int) -> int:
+        """Service a read miss: directory transaction + SHARED install."""
+        home = self.allocator.home_of_line(line)
+        dentry = self.directory.entry(line)
+        if dentry.state == DIR_EXCLUSIVE:
+            owner = dentry.owner
+            latency = self.config.latency.miss_cycles(cluster, home, owner)
+            # Owner keeps the data but downgrades; reader joins the sharers.
+            self.caches[owner].downgrade(line)
+            self.directory.downgrade_owner(line, cluster)
+        else:
+            latency = self.config.latency.miss_cycles(cluster, home, None)
+            self.directory.record_read_fill(line, cluster)
+        self._install(cluster, line, SHARED, now + latency, processor)
+        return latency
+
+    def _write_fill(self, cluster: int, line: int, now: int,
+                    processor: int) -> int:
+        """Service a write miss: invalidate everyone else, install EXCLUSIVE."""
+        home = self.allocator.home_of_line(line)
+        dentry = self.directory.entry(line)
+        if dentry.state == DIR_EXCLUSIVE:
+            latency = self.config.latency.miss_cycles(cluster, home, dentry.owner)
+        else:
+            latency = self.config.latency.miss_cycles(cluster, home, None)
+        self._invalidate_others(line, cluster)
+        self.directory.record_exclusive(line, cluster)
+        self._install(cluster, line, EXCLUSIVE, now + latency, processor)
+        return latency
+
+    def _install(self, cluster: int, line: int, state: int,
+                 pending_until: int, fetcher: int = -1) -> None:
+        """Insert a freshly fetched line, handling the victim's protocol exit."""
+        victim = self.caches[cluster].insert(line, state, pending_until,
+                                             fetcher)
+        self._history[cluster][line] = _RESIDENT
+        if victim is not None:
+            self._retire(cluster, victim)
+
+    def _retire(self, cluster: int, victim: Eviction) -> None:
+        """Directory bookkeeping for an evicted line."""
+        self._history[cluster][victim.line] = _EVICTED
+        if victim.state == EXCLUSIVE:
+            self.directory.writeback(victim.line, cluster)
+        else:
+            self.directory.replacement_hint(victim.line, cluster)
+
+    def _invalidate_others(self, line: int, keeper: int) -> None:
+        """Instantaneously invalidate every cached copy except ``keeper``'s.
+
+        Pending lines are invalidated too (paper §3.1); a reader merged on
+        such a line re-fetches when it retries.
+        """
+        dentry = self.directory.peek(line)
+        if dentry is None or dentry.sharers == 0:
+            return
+        bits = dentry.sharers & ~(1 << keeper)
+        cluster = 0
+        while bits:
+            if bits & 1:
+                if self.caches[cluster].invalidate(line):
+                    self._history[cluster][line] = _INVALIDATED
+            bits >>= 1
+            cluster += 1
+
+    def _classify(self, cluster: int, line: int) -> MissCause:
+        """Cold / coherence / capacity classification for a miss."""
+        mark = self._history[cluster].get(line)
+        if mark is None:
+            return MissCause.COLD
+        if mark == _INVALIDATED:
+            return MissCause.COHERENCE
+        return MissCause.CAPACITY
+
+    # ---------------------------------------------------------------- query
+    def aggregate_counters(self) -> MissCounters:
+        """Miss counters summed over all clusters."""
+        total = MissCounters()
+        for ctr in self.counters:
+            ctr.merged_into(total)
+        return total
+
+    def check_invariants(self) -> None:
+        """Cross-check cache and directory state; raises on inconsistency.
+
+        Used by tests and (cheaply) by long-running debug builds:
+
+        * a line EXCLUSIVE at the directory is EXCLUSIVE in exactly the
+          owner's cache and nowhere else;
+        * a line SHARED at the directory is SHARED in every cache whose bit
+          is set (hints guarantee no stale bits);
+        * a line NOT_CACHED is nowhere;
+        * no cache exceeds its capacity.
+        """
+        for line in self.directory.lines():
+            dentry = self.directory.peek(line)
+            assert dentry is not None
+            for cluster, cache in enumerate(self.caches):
+                state = cache.state_of(line)
+                if dentry.state == NOT_CACHED:
+                    if state is not None:
+                        raise AssertionError(
+                            f"line {line:#x} NOT_CACHED but in cache {cluster}")
+                elif dentry.state == DIR_SHARED:
+                    if dentry.is_sharer(cluster) and state != SHARED:
+                        raise AssertionError(
+                            f"line {line:#x} SHARED at dir, cluster {cluster} "
+                            f"bit set, cache state {state}")
+                    if not dentry.is_sharer(cluster) and state is not None:
+                        raise AssertionError(
+                            f"line {line:#x} cached at {cluster} without "
+                            f"a sharer bit")
+                else:  # DIR_EXCLUSIVE
+                    if cluster == dentry.owner and state != EXCLUSIVE:
+                        raise AssertionError(
+                            f"line {line:#x} EXCL at dir, owner {cluster} "
+                            f"cache state {state}")
+                    if cluster != dentry.owner and state is not None:
+                        raise AssertionError(
+                            f"line {line:#x} EXCL owned by {dentry.owner} "
+                            f"but cached at {cluster}")
+        for cluster, cache in enumerate(self.caches):
+            if cache.capacity_lines is not None and len(cache) > cache.capacity_lines:
+                raise AssertionError(
+                    f"cache {cluster} over capacity: {len(cache)} > "
+                    f"{cache.capacity_lines}")

@@ -1,0 +1,177 @@
+"""Full-bit-vector directory with replacement hints.
+
+Paper §3.1: *"The directory is implemented as a full bit vector with
+replacement hints."* and *"The directory supports three cache states for a
+line, NOT CACHED, EXCLUSIVE, and SHARED."*
+
+Physically the directory is distributed — each cluster holds the entries for
+the lines whose home it is (the :class:`~repro.memory.allocation.PageAllocator`
+decides homes).  Logically it is a single map from line number to
+:class:`DirEntry`; the protocol layer computes the home separately to assign
+network latencies, so nothing is lost by the centralised representation.
+
+Sharer sets are integer bitmasks over *clusters* (not processors): in a
+shared-cache cluster the processors behind one cache are indistinguishable
+to the directory, which is precisely the coherence benefit of clustering.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NOT_CACHED", "DIR_SHARED", "DIR_EXCLUSIVE", "DirEntry", "Directory"]
+
+#: No cluster caches the line.
+NOT_CACHED = 0
+#: One or more clusters hold the line read-only.
+DIR_SHARED = 1
+#: Exactly one cluster owns the line with write permission.
+DIR_EXCLUSIVE = 2
+
+_STATE_NAMES = {NOT_CACHED: "NOT_CACHED", DIR_SHARED: "SHARED",
+                DIR_EXCLUSIVE: "EXCLUSIVE"}
+
+
+class DirEntry:
+    """Directory state for one line: state + sharer bit vector.
+
+    For ``DIR_EXCLUSIVE`` the bit vector has exactly one bit set — the owner.
+    For ``NOT_CACHED`` it is zero.
+    """
+
+    __slots__ = ("state", "sharers")
+
+    def __init__(self) -> None:
+        self.state = NOT_CACHED
+        self.sharers = 0
+
+    # -- sharer-set helpers (bit twiddling kept in one place) --------------
+    def add_sharer(self, cluster: int) -> None:
+        self.sharers |= 1 << cluster
+
+    def remove_sharer(self, cluster: int) -> None:
+        self.sharers &= ~(1 << cluster)
+
+    def is_sharer(self, cluster: int) -> bool:
+        return bool(self.sharers >> cluster & 1)
+
+    def only_sharer_is(self, cluster: int) -> bool:
+        return self.sharers == 1 << cluster
+
+    def sharer_list(self) -> list[int]:
+        """Cluster ids with their bit set, ascending."""
+        out = []
+        bits = self.sharers
+        cluster = 0
+        while bits:
+            if bits & 1:
+                out.append(cluster)
+            bits >>= 1
+            cluster += 1
+        return out
+
+    @property
+    def owner(self) -> int:
+        """Owning cluster; only meaningful when state is ``DIR_EXCLUSIVE``."""
+        if self.state != DIR_EXCLUSIVE:
+            raise ValueError("owner undefined unless directory state is EXCLUSIVE")
+        return self.sharers.bit_length() - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"DirEntry({_STATE_NAMES[self.state]}, "
+                f"sharers={self.sharer_list()})")
+
+
+class Directory:
+    """Map from line number to :class:`DirEntry`, created on demand.
+
+    Bookkeeping counters track protocol traffic that the analysis layer
+    reports (invalidations sent, replacement hints received, writebacks).
+    """
+
+    __slots__ = ("n_clusters", "_entries", "invalidations_sent",
+                 "replacement_hints", "writebacks")
+
+    def __init__(self, n_clusters: int) -> None:
+        if n_clusters <= 0:
+            raise ValueError(f"n_clusters must be positive, got {n_clusters}")
+        self.n_clusters = n_clusters
+        self._entries: dict[int, DirEntry] = {}
+        self.invalidations_sent = 0
+        self.replacement_hints = 0
+        self.writebacks = 0
+
+    def entry(self, line: int) -> DirEntry:
+        """Entry for ``line``, default-created as NOT_CACHED."""
+        e = self._entries.get(line)
+        if e is None:
+            e = DirEntry()
+            self._entries[line] = e
+        return e
+
+    def peek(self, line: int) -> DirEntry | None:
+        """Entry for ``line`` if it exists, without creating it."""
+        return self._entries.get(line)
+
+    # -- transitions driven by the protocol layer ---------------------------
+    def record_read_fill(self, line: int, cluster: int) -> None:
+        """A read fill completed: cluster now shares the line."""
+        e = self.entry(line)
+        e.state = DIR_SHARED
+        e.add_sharer(cluster)
+
+    def record_exclusive(self, line: int, cluster: int) -> int:
+        """Grant exclusive ownership of ``line`` to ``cluster``.
+
+        Returns the number of *other* clusters that had to be invalidated
+        (the paper's invalidation count; invalidations are instantaneous).
+        """
+        e = self.entry(line)
+        others = e.sharers & ~(1 << cluster)
+        n_inval = others.bit_count()
+        self.invalidations_sent += n_inval
+        e.state = DIR_EXCLUSIVE
+        e.sharers = 1 << cluster
+        return n_inval
+
+    def replacement_hint(self, line: int, cluster: int) -> None:
+        """A SHARED line was evicted from ``cluster``'s cache.
+
+        The full-bit-vector-with-hints directory clears the sharer bit so it
+        never sends a useless invalidation later.  If the last sharer leaves,
+        the line returns to NOT_CACHED.
+        """
+        e = self._entries.get(line)
+        if e is None:
+            return
+        e.remove_sharer(cluster)
+        self.replacement_hints += 1
+        if e.sharers == 0:
+            e.state = NOT_CACHED
+
+    def writeback(self, line: int, cluster: int) -> None:
+        """An EXCLUSIVE line was evicted: data returns home, line NOT_CACHED."""
+        e = self._entries.get(line)
+        if e is None:
+            return
+        if e.state == DIR_EXCLUSIVE and e.only_sharer_is(cluster):
+            e.state = NOT_CACHED
+            e.sharers = 0
+            self.writebacks += 1
+
+    def downgrade_owner(self, line: int, reader: int) -> None:
+        """Remote read hit a dirty line: owner downgrades, reader joins.
+
+        Resulting state is DIR_SHARED with {old owner, reader} as sharers.
+        """
+        e = self.entry(line)
+        if e.state != DIR_EXCLUSIVE:
+            raise ValueError(f"line {line:#x} not exclusive at directory")
+        e.state = DIR_SHARED
+        e.add_sharer(reader)
+
+    # -- inspection ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lines(self) -> list[int]:
+        """All lines with a (possibly NOT_CACHED) directory entry."""
+        return list(self._entries)

@@ -1,0 +1,274 @@
+"""Shared-main-memory clusters (extension E-X2, paper §2's second cluster
+type).
+
+The paper's §2 contrasts two clusterings: the **shared cache cluster** its
+evaluation uses (processors behind one cache — :mod:`repro.memory.coherence`)
+and the **shared main memory cluster**: *"individual processor caches
+connected by a snoopy bus with the backing shared main memory"*.  The
+differences the paper calls out, all modelled here:
+
+* working sets are still duplicated per processor, *but* "the parts of the
+  working set replaced by one processor may not have been replaced by other
+  processors, providing cache to cache sharing opportunities" — a miss that
+  snoops a copy in a cluster-mate's cache is served by a fast
+  **cache-to-cache transfer** instead of a directory transaction;
+* "destructive interference does not exist, since the caches are separate";
+* the snoopy bus adds arbitration/queueing/electrical delay to every
+  cluster-memory access (``snoop_penalty``).
+
+Intra-cluster coherence is write-invalidate over the snoopy bus; inter-
+cluster coherence uses the same full-bit-vector directory as the shared-
+cache system (the directory tracks *clusters*; within a cluster any
+processor's cached copy makes the cluster a sharer).
+
+The class exposes the same hot interface as
+:class:`~repro.memory.coherence.CoherentMemorySystem` (``read``/``write``/
+``aggregate_counters``/``counters``), so the engine and the study driver
+accept either interchangeably.
+"""
+
+from __future__ import annotations
+
+from ..core.config import MachineConfig
+from ..core.metrics import MissCause, MissCounters
+from .allocation import PageAllocator
+from .cache import EXCLUSIVE, SHARED, Eviction, make_cache
+from .coherence import READ_HIT, READ_MERGE, READ_MISS
+from .directory import DIR_EXCLUSIVE, Directory
+
+__all__ = ["SnoopyClusterMemorySystem", "DEFAULT_SNOOP_PENALTY",
+           "DEFAULT_C2C_LATENCY"]
+
+#: extra cycles a snoopy bus adds to any miss that leaves the processor
+#: cache (paper: "arbitration, queueing and electrical delays")
+DEFAULT_SNOOP_PENALTY = 6
+
+#: latency of an intra-cluster cache-to-cache transfer (bus + SRAM array);
+#: far cheaper than the 30-cycle local-memory access, let alone remote.
+DEFAULT_C2C_LATENCY = 10
+
+_RESIDENT = 0
+_EVICTED = 1
+_INVALIDATED = 2
+
+
+class SnoopyClusterMemorySystem:
+    """Per-processor caches + intra-cluster snooping + inter-cluster
+    directory.
+
+    Parameters
+    ----------
+    config:
+        Machine organisation.  ``cache_kb_per_processor`` sizes each
+        *processor* cache (there is no shared cache in this organisation).
+    allocator:
+        Page-home policy, as for the shared-cache system.
+    snoop_penalty, c2c_latency:
+        Bus cost knobs (see module docstring).
+    """
+
+    def __init__(self, config: MachineConfig,
+                 allocator: PageAllocator | None = None,
+                 snoop_penalty: int = DEFAULT_SNOOP_PENALTY,
+                 c2c_latency: int = DEFAULT_C2C_LATENCY) -> None:
+        self.config = config
+        self.allocator = allocator if allocator is not None else PageAllocator(
+            config.n_clusters, config.page_size, config.line_size)
+        if self.allocator.n_clusters != config.n_clusters:
+            raise ValueError("allocator cluster count mismatch")
+        self.directory = Directory(config.n_clusters)
+        per_proc_lines = (None if config.cache_kb_per_processor is None
+                          else max(int(config.cache_kb_per_processor * 1024
+                                       // config.line_size), 1))
+        self.caches = [make_cache(per_proc_lines, config.associativity)
+                       for _ in range(config.n_processors)]
+        self.counters = [MissCounters() for _ in range(config.n_clusters)]
+        self.snoop_penalty = snoop_penalty
+        self.c2c_latency = c2c_latency
+        self.c2c_transfers = 0
+        self._history: list[dict[int, int]] = [dict()
+                                               for _ in range(config.n_processors)]
+
+    # ------------------------------------------------------------------ hot
+    def cluster_of(self, processor: int) -> int:
+        return processor // self.config.cluster_size
+
+    def _snoop(self, line: int, cluster: int, exclude: int) -> int | None:
+        """Find a cluster-mate (≠ exclude) holding ``line``; returns its id."""
+        for q in self.config.processors_of(cluster):
+            if q != exclude and self.caches[q].peek(line) is not None:
+                return q
+        return None
+
+    def read(self, processor: int, line: int, now: int,
+             is_retry: bool = False) -> tuple[int, int]:
+        """Read with snooping: own-cache hit, cache-to-cache transfer, or
+        directory transaction (+ bus penalty)."""
+        cluster = self.cluster_of(processor)
+        ctr = self.counters[cluster]
+        if not is_retry:
+            ctr.references += 1
+            ctr.reads += 1
+        cache = self.caches[processor]
+        entry = cache.lookup(line)
+        if entry is not None:
+            if entry.pending_until > now:
+                ctr.merges += 1
+                return READ_MERGE, entry.pending_until - now
+            ctr.hits += 1
+            return READ_HIT, 0
+        if is_retry:
+            ctr.merge_refetches += 1
+        cause = self._classify(processor, line)
+        # Snoop the cluster bus first: cache-to-cache sharing opportunity.
+        holder = self._snoop(line, cluster, processor)
+        if holder is not None:
+            holder_entry = self.caches[holder].peek(line)
+            assert holder_entry is not None
+            if holder_entry.state == EXCLUSIVE:
+                holder_entry.state = SHARED  # intra-cluster downgrade
+            latency = self.c2c_latency
+            self.c2c_transfers += 1
+            # directory already lists this cluster; no global transaction
+        else:
+            home = self.allocator.home_of_line(line)
+            dentry = self.directory.entry(line)
+            if dentry.state == DIR_EXCLUSIVE and not dentry.only_sharer_is(cluster):
+                owner = dentry.owner
+                latency = self.config.latency.miss_cycles(cluster, home, owner)
+                self._downgrade_cluster(owner, line)
+                self.directory.downgrade_owner(line, cluster)
+            else:
+                latency = self.config.latency.miss_cycles(cluster, home, None)
+                self.directory.record_read_fill(line, cluster)
+            latency += self.snoop_penalty
+        self._install(processor, line, SHARED, now + latency)
+        ctr.read_misses += 1
+        ctr.record_cause(cause)
+        return READ_MISS, latency
+
+    def write(self, processor: int, line: int, now: int) -> None:
+        """Write: invalidate every other copy (bus upstream + directory)."""
+        cluster = self.cluster_of(processor)
+        ctr = self.counters[cluster]
+        ctr.references += 1
+        ctr.writes += 1
+        cache = self.caches[processor]
+        entry = cache.lookup(line)
+        if entry is not None and entry.state == EXCLUSIVE:
+            ctr.hits += 1
+            return
+        if entry is not None:
+            ctr.upgrade_misses += 1
+        else:
+            ctr.write_misses += 1
+            ctr.record_cause(self._classify(processor, line))
+        # invalidate cluster-mates (bus) and other clusters (directory)
+        for q in self.config.processors_of(cluster):
+            if q != processor and self.caches[q].invalidate(line):
+                self._history[q][line] = _INVALIDATED
+        self._invalidate_other_clusters(line, cluster)
+        self.directory.record_exclusive(line, cluster)
+        if entry is not None:
+            entry.state = EXCLUSIVE
+        else:
+            home = self.allocator.home_of_line(line)
+            latency = self.config.latency.miss_cycles(cluster, home, None) \
+                + self.snoop_penalty
+            self._install(processor, line, EXCLUSIVE, now + latency)
+
+    # ------------------------------------------------------------- internals
+    def _install(self, processor: int, line: int, state: int,
+                 pending_until: int) -> None:
+        victim = self.caches[processor].insert(line, state, pending_until)
+        self._history[processor][line] = _RESIDENT
+        if victim is not None:
+            self._retire(processor, victim)
+
+    def _retire(self, processor: int, victim: Eviction) -> None:
+        """Eviction: hint/writeback only if no cluster-mate still holds it."""
+        self._history[processor][victim.line] = _EVICTED
+        cluster = self.cluster_of(processor)
+        if self._snoop(victim.line, cluster, processor) is not None:
+            return  # cluster still caches the line; sharer bit stays
+        if victim.state == EXCLUSIVE:
+            self.directory.writeback(victim.line, cluster)
+        else:
+            self.directory.replacement_hint(victim.line, cluster)
+
+    def _downgrade_cluster(self, cluster: int, line: int) -> None:
+        for q in self.config.processors_of(cluster):
+            entry = self.caches[q].peek(line)
+            if entry is not None and entry.state == EXCLUSIVE:
+                entry.state = SHARED
+
+    def _invalidate_other_clusters(self, line: int, keeper: int) -> None:
+        dentry = self.directory.peek(line)
+        if dentry is None or dentry.sharers == 0:
+            return
+        bits = dentry.sharers & ~(1 << keeper)
+        cluster = 0
+        while bits:
+            if bits & 1:
+                for q in self.config.processors_of(cluster):
+                    if self.caches[q].invalidate(line):
+                        self._history[q][line] = _INVALIDATED
+            bits >>= 1
+            cluster += 1
+
+    def _classify(self, processor: int, line: int) -> MissCause:
+        mark = self._history[processor].get(line)
+        if mark is None:
+            return MissCause.COLD
+        if mark == _INVALIDATED:
+            return MissCause.COHERENCE
+        return MissCause.CAPACITY
+
+    # ---------------------------------------------------------------- query
+    def aggregate_counters(self) -> MissCounters:
+        total = MissCounters()
+        for ctr in self.counters:
+            ctr.merged_into(total)
+        return total
+
+    def check_invariants(self) -> None:
+        """Cross-check processor caches against the directory.
+
+        * A line EXCLUSIVE at the directory is cached only inside the owner
+          cluster, and at most one processor holds it EXCLUSIVE; no copy of
+          it exists in any other cluster.
+        * A cluster without its sharer bit set caches the line nowhere.
+        * A sharer cluster holds at least one copy (hints fire only when
+          the whole cluster drops the line).
+        """
+        from .directory import DIR_EXCLUSIVE as _EXCL
+        from .directory import NOT_CACHED as _NC
+        for line in self.directory.lines():
+            dentry = self.directory.peek(line)
+            assert dentry is not None
+            for cluster in range(self.config.n_clusters):
+                holders = [q for q in self.config.processors_of(cluster)
+                           if self.caches[q].state_of(line) is not None]
+                excl = [q for q in self.config.processors_of(cluster)
+                        if self.caches[q].state_of(line) == EXCLUSIVE]
+                if dentry.state == _NC or not dentry.is_sharer(cluster):
+                    if holders:
+                        raise AssertionError(
+                            f"line {line:#x}: cluster {cluster} caches it "
+                            f"without a sharer bit (procs {holders})")
+                    continue
+                if not holders:
+                    raise AssertionError(
+                        f"line {line:#x}: sharer bit set for cluster "
+                        f"{cluster} but no processor caches it")
+                if dentry.state == _EXCL:
+                    if cluster != dentry.owner:
+                        raise AssertionError(
+                            f"line {line:#x}: cached outside owner cluster")
+                    if len(excl) > 1:
+                        raise AssertionError(
+                            f"line {line:#x}: {len(excl)} EXCLUSIVE copies")
+                elif excl:
+                    raise AssertionError(
+                        f"line {line:#x}: EXCLUSIVE copy under a SHARED "
+                        f"directory state")

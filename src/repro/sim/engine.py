@@ -1,0 +1,234 @@
+"""Event-driven multiprocessor execution engine (the Tango-lite analog).
+
+The engine interleaves per-processor operation streams in global timestamp
+order using a binary heap of ``(time, sequence, processor)`` events.  One
+event processes one operation; the sequence number makes tie-breaking — and
+therefore every simulation — fully deterministic.
+
+Timing rules (paper §3.1):
+
+* WORK(c) advances the processor clock by ``c`` CPU-busy cycles.
+* A READ that hits costs one CPU cycle (the engine simulates single-cycle
+  hits; cluster-size-dependent hit time enters via the §6 estimator).
+* A READ that misses stalls the processor for the Table-1 latency (charged
+  to *load*), then completes as a hit.
+* A READ to a pending line stalls until the outstanding fill returns
+  (charged to *merge*) and is then **retried**: if the line was invalidated
+  while pending the retry takes a fresh miss (paper §2).
+* WRITEs never stall (store buffers + relaxed consistency) and cost one
+  CPU cycle to issue.
+* BARRIER/LOCK blocking is charged to *sync*; end-of-program slack (waiting
+  for the slowest processor) is also charged to *sync*, so every
+  processor's components sum exactly to the global execution time.
+
+The memory system is any object with ``read(processor, line, now, is_retry)``
+and ``write(processor, line, now)`` — normally
+:class:`~repro.memory.coherence.CoherentMemorySystem`, or
+:class:`PerfectMemory` for load-latency profiling.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+from ..core.config import MachineConfig
+from ..core.metrics import MissCounters, RunResult, TimeBreakdown
+from ..memory.coherence import READ_HIT, READ_MERGE
+from .program import (OP_BARRIER, OP_LOCK, OP_READ, OP_UNLOCK, OP_WORK,
+                      OP_WRITE, ProgramFactory)
+from .sync import SyncRegistry
+
+__all__ = ["Engine", "PerfectMemory", "SimulationDeadlock", "run_program"]
+
+
+class SimulationDeadlock(RuntimeError):
+    """The event queue drained while processors were still blocked."""
+
+
+class PerfectMemory:
+    """A memory system in which every reference hits.
+
+    Used by the load-latency profiler (paper §6 / Table 5), where memory
+    behaviour must be excluded so that only the load delay slot matters —
+    the role Pixie played for the authors.
+    """
+
+    def read(self, processor: int, line: int, now: int,
+             is_retry: bool = False) -> tuple[int, int]:
+        return READ_HIT, 0
+
+    def write(self, processor: int, line: int, now: int) -> None:
+        return None
+
+    def aggregate_counters(self) -> MissCounters:
+        return MissCounters()
+
+
+class Engine:
+    """Run a program factory on a machine configuration.
+
+    Parameters
+    ----------
+    config:
+        Machine organisation; supplies processor count and line size.
+    memory:
+        Coherent memory system (or :class:`PerfectMemory`).
+    read_hit_cycles:
+        CPU cycles charged per read *hit* (default 1, the paper's setting;
+        the load-latency profiler sweeps 1-4).
+    max_cycles:
+        Safety cap; exceeding it raises ``RuntimeError`` (runaway program).
+    """
+
+    def __init__(self, config: MachineConfig, memory,
+                 read_hit_cycles: int = 1,
+                 max_cycles: int | None = None) -> None:
+        if read_hit_cycles < 1:
+            raise ValueError("read_hit_cycles must be >= 1")
+        self.config = config
+        self.memory = memory
+        self.read_hit_cycles = read_hit_cycles
+        self.max_cycles = max_cycles
+        self.sync = SyncRegistry(config.n_processors)
+
+    def run(self, program_factory: ProgramFactory) -> RunResult:
+        """Execute ``program_factory(pid)`` on every processor to completion."""
+        n = self.config.n_processors
+        line_size = self.config.line_size
+        memory = self.memory
+        read = memory.read
+        write = memory.write
+        hit_cost = self.read_hit_cycles
+        max_cycles = self.max_cycles
+
+        programs = [program_factory(pid) for pid in range(n)]
+        breakdowns = [TimeBreakdown() for _ in range(n)]
+        retry_line: list[int | None] = [None] * n
+        finish: list[int | None] = [None] * n
+
+        heap: list[tuple[int, int, int]] = []
+        seq = 0
+        for pid in range(n):
+            heap.append((0, seq, pid))
+            seq += 1
+        # list of (time, seq, pid) is already a valid heap here (all zeros)
+
+        n_running = n
+        while heap:
+            t, _, pid = heappop(heap)
+            if max_cycles is not None and t > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded max_cycles={max_cycles} "
+                    f"(processor {pid} at t={t})")
+            bd = breakdowns[pid]
+
+            pending = retry_line[pid]
+            if pending is not None:
+                outcome, stall = read(pid, pending, t, True)
+                if outcome == READ_MERGE:
+                    bd.merge += stall
+                    heappush(heap, (t + stall, seq, pid)); seq += 1
+                    continue
+                retry_line[pid] = None
+                if outcome == READ_HIT:
+                    bd.cpu += hit_cost
+                    heappush(heap, (t + hit_cost, seq, pid)); seq += 1
+                else:  # fresh miss after mid-flight invalidation
+                    bd.load += stall
+                    bd.cpu += hit_cost
+                    heappush(heap, (t + stall + hit_cost, seq, pid)); seq += 1
+                continue
+
+            try:
+                opcode, arg = next(programs[pid])
+            except StopIteration:
+                finish[pid] = t
+                n_running -= 1
+                continue
+
+            if opcode == OP_WORK:
+                if arg < 0:
+                    raise ValueError(f"negative WORK cycles: {arg}")
+                bd.cpu += arg
+                heappush(heap, (t + arg, seq, pid)); seq += 1
+            elif opcode == OP_READ:
+                outcome, stall = read(pid, arg // line_size, t, False)
+                if outcome == READ_HIT:
+                    bd.cpu += hit_cost
+                    heappush(heap, (t + hit_cost, seq, pid)); seq += 1
+                elif outcome == READ_MERGE:
+                    bd.merge += stall
+                    retry_line[pid] = arg // line_size
+                    heappush(heap, (t + stall, seq, pid)); seq += 1
+                else:
+                    bd.load += stall
+                    bd.cpu += hit_cost
+                    heappush(heap, (t + stall + hit_cost, seq, pid)); seq += 1
+            elif opcode == OP_WRITE:
+                write(pid, arg // line_size, t)
+                bd.cpu += 1
+                heappush(heap, (t + 1, seq, pid)); seq += 1
+            elif opcode == OP_BARRIER:
+                releases = self.sync.barrier(arg).arrive(pid, t)
+                if releases is not None:
+                    for rpid, wait in releases:
+                        breakdowns[rpid].sync += wait
+                        heappush(heap, (t, seq, rpid)); seq += 1
+            elif opcode == OP_LOCK:
+                if self.sync.lock(arg).acquire(pid, t):
+                    bd.cpu += 1
+                    heappush(heap, (t + 1, seq, pid)); seq += 1
+                # else: blocked; rescheduled by the releasing processor
+            elif opcode == OP_UNLOCK:
+                handoff = self.sync.lock(arg).release(pid, t)
+                bd.cpu += 1
+                heappush(heap, (t + 1, seq, pid)); seq += 1
+                if handoff is not None:
+                    next_pid, wait = handoff
+                    nbd = breakdowns[next_pid]
+                    nbd.sync += wait
+                    nbd.cpu += 1  # the acquisition cycle of its LOCK op
+                    heappush(heap, (t + 1, seq, next_pid)); seq += 1
+            else:
+                raise ValueError(f"unknown opcode {opcode}")
+
+        if n_running > 0:
+            detail = self.sync.idle_check() or "processors blocked forever"
+            stuck = [pid for pid in range(n) if finish[pid] is None]
+            raise SimulationDeadlock(
+                f"{len(stuck)} processors never finished ({detail}); "
+                f"first stuck: {stuck[:8]}")
+
+        execution_time = max(f for f in finish if f is not None) if n else 0
+        for pid in range(n):
+            fin = finish[pid]
+            assert fin is not None
+            breakdowns[pid].sync += execution_time - fin
+
+        mean = TimeBreakdown()
+        for bd in breakdowns:
+            mean.add(bd)
+        if n:
+            mean = TimeBreakdown(cpu=mean.cpu / n, load=mean.load / n,
+                                 merge=mean.merge / n, sync=mean.sync / n)
+
+        per_cluster = getattr(memory, "counters", None)
+        return RunResult(
+            execution_time=execution_time,
+            breakdown=mean,
+            per_processor=breakdowns,
+            misses=memory.aggregate_counters(),
+            per_cluster_misses=list(per_cluster) if per_cluster else [],
+        )
+
+
+def run_program(config: MachineConfig, program_factory: ProgramFactory,
+                memory=None, read_hit_cycles: int = 1,
+                max_cycles: int | None = None) -> RunResult:
+    """Convenience wrapper: build the memory system and run one simulation."""
+    if memory is None:
+        from ..memory.coherence import CoherentMemorySystem
+        memory = CoherentMemorySystem(config)
+    engine = Engine(config, memory, read_hit_cycles=read_hit_cycles,
+                    max_cycles=max_cycles)
+    return engine.run(program_factory)

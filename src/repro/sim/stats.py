@@ -1,0 +1,81 @@
+"""Run-level summaries derived from :class:`~repro.core.metrics.RunResult`.
+
+These helpers turn raw counters into the quantities the paper talks about —
+miss rates, invalidation counts, component fractions — for CLI output,
+examples, and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.metrics import MissCause, RunResult
+
+__all__ = ["RunSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Digest of one simulation run."""
+
+    execution_time: int
+    cpu_fraction: float
+    load_fraction: float
+    merge_fraction: float
+    sync_fraction: float
+    references: int
+    miss_rate: float
+    read_misses: int
+    write_misses: int
+    upgrade_misses: int
+    merges: int
+    merge_refetches: int
+    prefetch_hits: int
+    cold_misses: int
+    coherence_misses: int
+    capacity_misses: int
+
+    def format(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"execution time       {self.execution_time:>14,} cycles",
+            f"  cpu / load / merge / sync   "
+            f"{self.cpu_fraction:6.1%} {self.load_fraction:6.1%} "
+            f"{self.merge_fraction:6.1%} {self.sync_fraction:6.1%}",
+            f"references           {self.references:>14,}",
+            f"miss rate            {self.miss_rate:>14.4%}",
+            f"  read / write / upgrade      "
+            f"{self.read_misses:,} / {self.write_misses:,} / "
+            f"{self.upgrade_misses:,}",
+            f"  merges (refetched)          "
+            f"{self.merges:,} ({self.merge_refetches:,})",
+            f"  cluster prefetch hits       {self.prefetch_hits:,}",
+            f"  cold / coherence / capacity "
+            f"{self.cold_misses:,} / {self.coherence_misses:,} / "
+            f"{self.capacity_misses:,}",
+        ]
+        return "\n".join(lines)
+
+
+def summarize(result: RunResult) -> RunSummary:
+    """Build a :class:`RunSummary` from a run result."""
+    fr = result.breakdown.fractions()
+    m = result.misses
+    return RunSummary(
+        execution_time=result.execution_time,
+        cpu_fraction=fr["cpu"],
+        load_fraction=fr["load"],
+        merge_fraction=fr["merge"],
+        sync_fraction=fr["sync"],
+        references=m.references,
+        miss_rate=m.miss_rate,
+        read_misses=m.read_misses,
+        write_misses=m.write_misses,
+        upgrade_misses=m.upgrade_misses,
+        merges=m.merges,
+        merge_refetches=m.merge_refetches,
+        prefetch_hits=m.prefetch_hits,
+        cold_misses=m.by_cause[MissCause.COLD],
+        coherence_misses=m.by_cause[MissCause.COHERENCE],
+        capacity_misses=m.by_cause[MissCause.CAPACITY],
+    )

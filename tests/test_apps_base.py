@@ -1,0 +1,165 @@
+"""Tests for the application framework helpers (span emission, placement,
+partitioning, barrier sequencing)."""
+
+import pytest
+
+from repro.apps.base import Application, PhaseBarriers, proc_grid_shape
+from repro.core.config import MachineConfig
+from repro.sim.program import OP_READ, OP_WORK, OP_WRITE
+
+
+class _Dummy(Application):
+    name = "dummy"
+
+    def setup(self):
+        self.data = self.space.allocate("dummy.data", 1024, element_size=8)
+        self.wide = self.space.allocate("dummy.wide", 256, element_size=16)
+
+    def program(self, pid):
+        yield from ()
+
+
+@pytest.fixture
+def app():
+    a = _Dummy(MachineConfig(n_processors=8, cluster_size=2))
+    a.ensure_setup()
+    return a
+
+
+class TestReadSpan:
+    def test_one_read_per_line(self, app):
+        ops = list(app.read_span(app.data, 0, 16))  # 16×8B = 2 lines
+        reads = [op for op in ops if op[0] == OP_READ]
+        assert len(reads) == 2
+
+    def test_work_covers_remaining_elements(self, app):
+        ops = list(app.read_span(app.data, 0, 16))
+        work = sum(op[1] for op in ops if op[0] == OP_WORK)
+        reads = sum(1 for op in ops if op[0] == OP_READ)
+        assert work + reads == 16  # every element costs exactly one cycle
+
+    def test_unaligned_span(self, app):
+        # elements 5..12 straddle the line boundary at element 8
+        ops = list(app.read_span(app.data, 5, 8))
+        reads = [op for op in ops if op[0] == OP_READ]
+        assert len(reads) == 2
+        work = sum(op[1] for op in ops if op[0] == OP_WORK)
+        assert work + len(reads) == 8
+
+    def test_single_element(self, app):
+        ops = list(app.read_span(app.data, 3, 1))
+        assert len(ops) == 1 and ops[0][0] == OP_READ
+
+    def test_empty_span(self, app):
+        assert list(app.read_span(app.data, 0, 0)) == []
+
+    def test_wide_elements(self, app):
+        # 16-byte elements: 4 per line
+        ops = list(app.read_span(app.wide, 0, 8))
+        reads = [op for op in ops if op[0] == OP_READ]
+        assert len(reads) == 2
+
+    def test_addresses_fall_in_region(self, app):
+        for op in app.read_span(app.data, 100, 50):
+            if op[0] == OP_READ:
+                assert app.data.contains(op[1])
+
+
+class TestWriteSpan:
+    def test_one_write_per_line(self, app):
+        ops = list(app.write_span(app.data, 0, 24))
+        writes = [op for op in ops if op[0] == OP_WRITE]
+        assert len(writes) == 3
+
+    def test_cycle_conservation(self, app):
+        ops = list(app.write_span(app.data, 2, 13))
+        work = sum(op[1] for op in ops if op[0] == OP_WORK)
+        writes = sum(1 for op in ops if op[0] == OP_WRITE)
+        assert work + writes == 13
+
+
+class TestPlacement:
+    def test_place_partitions_by_cluster_of_owner(self, app):
+        region = app.space.allocate("dummy.parts", 8 * 512)  # 4KB/proc
+        app.place_partitions(region)
+        # processor 2 lives in cluster 1; its partition starts at page 1
+        # of the region (each partition = 1 page)
+        page0 = region.base // app.config.page_size
+        assert app.allocator.bound_home(page0) == 0          # procs 0,1
+        assert app.allocator.bound_home(page0 + 2) == 1      # wait: see below
+
+    def test_place_partitions_cluster_mapping(self):
+        cfg = MachineConfig(n_processors=4, cluster_size=2)
+        a = _Dummy(cfg)
+        a.ensure_setup()
+        region = a.space.allocate("dummy.parts", 4 * 512)  # 1 page per proc
+        a.place_partitions(region)
+        page0 = region.base // cfg.page_size
+        homes = [a.allocator.bound_home(page0 + i) for i in range(4)]
+        assert homes == [0, 0, 1, 1]  # procs 0,1 -> cluster 0; 2,3 -> 1
+
+    def test_place_partitions_tiny_region(self, app):
+        region = app.space.allocate("dummy.tiny", 4)
+        app.place_partitions(region)  # smaller than partition count
+        assert app.allocator.bound_home(region.base // 4096) == 0
+
+    def test_place_interleaved_cycles_clusters(self, app):
+        region = app.space.allocate("dummy.inter", 4096)  # 8 pages (32KB)
+        app.place_interleaved(region)
+        first = region.base // app.config.page_size
+        homes = [app.allocator.bound_home(first + k) for k in range(8)]
+        assert homes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_place_partitions_rejects_bad_count(self, app):
+        region = app.space.allocate("dummy.bad", 64)
+        with pytest.raises(ValueError):
+            app.place_partitions(region, n_partitions=0)
+
+
+class TestPartitionSlice:
+    def test_covers_everything_disjointly(self, app):
+        seen = []
+        for pid in range(8):
+            seen.extend(app.partition_slice(100, pid))
+        assert seen == list(range(100))
+
+    def test_balanced(self, app):
+        sizes = [len(app.partition_slice(100, pid)) for pid in range(8)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestPhaseBarriers:
+    def test_sequential_ids(self):
+        bar = PhaseBarriers()
+        assert [bar() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_instances_independent(self):
+        a, b = PhaseBarriers(), PhaseBarriers()
+        a()
+        assert b() == 0
+
+
+class TestProcGridShape:
+    def test_perfect_squares(self):
+        assert proc_grid_shape(64) == (8, 8)
+        assert proc_grid_shape(16) == (4, 4)
+
+    def test_non_squares(self):
+        assert proc_grid_shape(8) == (2, 4)
+        assert proc_grid_shape(2) == (1, 2)
+
+    def test_rows_at_most_cols(self):
+        for n in (2, 4, 6, 8, 12, 32, 64):
+            r, c = proc_grid_shape(n)
+            assert r * c == n
+            assert r <= c
+
+
+class TestRng:
+    def test_deterministic_streams(self, app):
+        assert app.rng(1, 2).integers(0, 100) == app.rng(1, 2).integers(0, 100)
+
+    def test_distinct_streams(self, app):
+        a = app.rng(1).integers(0, 10**9)
+        b = app.rng(2).integers(0, 10**9)
+        assert a != b

@@ -1,0 +1,75 @@
+"""FFT application tests: transform correctness + all-to-all structure."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fft import FFTApp
+from repro.core.config import MachineConfig
+
+
+@pytest.fixture
+def cfg():
+    return MachineConfig(n_processors=4, cluster_size=2,
+                         cache_kb_per_processor=16)
+
+
+class TestNumerics:
+    def test_matches_numpy_fft(self, cfg):
+        app = FFTApp(cfg, n_points=256)
+        app.run()
+        ref = app.reference()
+        err = np.abs(app.result() - ref).max() / np.abs(ref).max()
+        assert err < 1e-10
+
+    def test_larger_transform(self, cfg):
+        app = FFTApp(cfg, n_points=4096)
+        app.run()
+        assert np.allclose(app.result(), app.reference(), atol=1e-8)
+
+    def test_result_independent_of_clustering(self):
+        outs = []
+        for cluster in (1, 4):
+            cfg = MachineConfig(n_processors=4, cluster_size=cluster,
+                                cache_kb_per_processor=4)
+            app = FFTApp(cfg, n_points=256)
+            app.run()
+            outs.append(app.result())
+        assert np.allclose(outs[0], outs[1])
+
+
+class TestStructure:
+    def test_requires_square_size(self, cfg):
+        with pytest.raises(ValueError):
+            FFTApp(cfg, n_points=200)
+
+    def test_requires_divisible_rows(self):
+        cfg = MachineConfig(n_processors=64)
+        with pytest.raises(ValueError):
+            FFTApp(cfg, n_points=256)  # sqrt=16 < 64 processors
+
+    def test_rows_contiguous_per_proc(self, cfg):
+        app = FFTApp(cfg, n_points=256)
+        rows = [app.my_rows(p) for p in range(4)]
+        assert rows[0].stop == rows[1].start
+        assert sum(len(r) for r in rows) == app.m
+
+    def test_transpose_causes_remote_reads(self, cfg):
+        """All-to-all: every cluster must take read misses to other
+        clusters' rows during the transposes."""
+        app = FFTApp(cfg, n_points=256)
+        res = app.run()
+        for ctr in res.per_cluster_misses:
+            assert ctr.read_misses > 0
+
+    def test_clustering_reduces_communication_by_expected_factor(self):
+        """Paper §4: all-to-all communication falls only by (C-1)/(P-1)."""
+        misses = {}
+        for cluster in (1, 4):
+            cfg = MachineConfig(n_processors=8, cluster_size=cluster)
+            app = FFTApp(cfg, n_points=1024)
+            res = app.run()
+            misses[cluster] = res.misses.read_misses
+        # 4-way clustering on 8 procs removes 3/7 of the all-to-all pairs;
+        # allow slack for cold misses on private rows
+        ratio = misses[4] / misses[1]
+        assert 0.45 < ratio < 0.95

@@ -1,0 +1,74 @@
+"""Radix application tests: sorting correctness + histogram sharing."""
+
+import numpy as np
+import pytest
+
+from repro.apps.radix import RadixApp, _stable_rank_within
+from repro.core.config import MachineConfig
+
+
+@pytest.fixture
+def cfg():
+    return MachineConfig(n_processors=8, cluster_size=2,
+                         cache_kb_per_processor=16)
+
+
+class TestNumerics:
+    def test_sorts_correctly(self, cfg):
+        app = RadixApp(cfg, n_keys=2048, radix=16, n_digits=3)
+        app.run()
+        assert np.array_equal(app.result(), app.reference())
+
+    def test_single_digit(self, cfg):
+        app = RadixApp(cfg, n_keys=512, radix=64, n_digits=1)
+        app.run()
+        assert np.array_equal(app.result(), app.reference())
+
+    def test_radix_larger_than_procs(self, cfg):
+        app = RadixApp(cfg, n_keys=1024, radix=256, n_digits=2)
+        app.run()
+        assert np.array_equal(app.result(), app.reference())
+
+    def test_result_independent_of_clustering(self):
+        outs = []
+        for cluster in (1, 4):
+            cfg = MachineConfig(n_processors=8, cluster_size=cluster,
+                                cache_kb_per_processor=4)
+            app = RadixApp(cfg, n_keys=1024, radix=32, n_digits=2)
+            app.run()
+            outs.append(app.result())
+        assert np.array_equal(outs[0], outs[1])
+
+    def test_stable_rank_within(self):
+        digits = np.array([3, 1, 3, 3, 1])
+        ranks = _stable_rank_within(digits, 4)
+        assert list(ranks) == [0, 0, 1, 2, 1]
+
+
+class TestStructure:
+    def test_keys_must_divide(self, cfg):
+        with pytest.raises(ValueError):
+            RadixApp(cfg, n_keys=1001)
+
+    def test_digit_slices_partition_radix(self, cfg):
+        app = RadixApp(cfg, n_keys=512, radix=64)
+        covered = []
+        for pid in range(8):
+            covered.extend(app._digit_slice(pid))
+        assert sorted(covered) == list(range(64))
+
+    def test_permutation_is_all_to_all(self, cfg):
+        """Keys scatter across the whole destination array: every cluster
+        should take write misses to remote key pages."""
+        app = RadixApp(cfg, n_keys=2048, radix=16, n_digits=2)
+        res = app.run()
+        for ctr in res.per_cluster_misses:
+            assert ctr.write_misses > 0
+
+    def test_histograms_heavily_shared(self, cfg):
+        """The rank phase reads every processor's histogram row; clustering
+        should produce merge activity there (paper: 'significant
+        prefetching effects, particularly on the shared histograms')."""
+        app = RadixApp(cfg, n_keys=2048, radix=64, n_digits=2)
+        res = app.run()
+        assert res.misses.merges > 0

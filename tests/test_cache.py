@@ -1,0 +1,173 @@
+"""Unit tests for the fully associative and set-associative cluster caches."""
+
+import pytest
+
+from repro.memory.cache import (EXCLUSIVE, SHARED, FullyAssociativeCache,
+                                SetAssociativeCache, make_cache)
+
+
+class TestFullyAssociativeBasics:
+    def test_miss_then_hit(self):
+        c = FullyAssociativeCache(4)
+        assert c.lookup(1) is None
+        c.insert(1, SHARED)
+        assert c.lookup(1).state == SHARED
+
+    def test_capacity_enforced(self):
+        c = FullyAssociativeCache(2)
+        c.insert(1, SHARED)
+        c.insert(2, SHARED)
+        victim = c.insert(3, SHARED)
+        assert victim is not None
+        assert len(c) == 2
+
+    def test_lru_victim_is_least_recent(self):
+        c = FullyAssociativeCache(2)
+        c.insert(1, SHARED)
+        c.insert(2, SHARED)
+        c.lookup(1)  # 2 becomes LRU
+        victim = c.insert(3, SHARED)
+        assert victim.line == 2
+
+    def test_peek_does_not_touch_lru(self):
+        c = FullyAssociativeCache(2)
+        c.insert(1, SHARED)
+        c.insert(2, SHARED)
+        c.peek(1)  # must NOT refresh line 1
+        victim = c.insert(3, SHARED)
+        assert victim.line == 1
+
+    def test_double_insert_rejected(self):
+        c = FullyAssociativeCache(4)
+        c.insert(1, SHARED)
+        with pytest.raises(ValueError):
+            c.insert(1, EXCLUSIVE)
+
+    def test_invalidate(self):
+        c = FullyAssociativeCache(4)
+        c.insert(1, SHARED)
+        assert c.invalidate(1) is True
+        assert c.invalidate(1) is False
+        assert 1 not in c
+
+    def test_invalidate_pending_line(self):
+        c = FullyAssociativeCache(4)
+        c.insert(1, SHARED, pending_until=100)
+        assert c.invalidate(1) is True
+
+    def test_downgrade(self):
+        c = FullyAssociativeCache(4)
+        c.insert(1, EXCLUSIVE)
+        c.downgrade(1)
+        assert c.state_of(1) == SHARED
+
+    def test_downgrade_missing_line_raises(self):
+        c = FullyAssociativeCache(4)
+        with pytest.raises(KeyError):
+            c.downgrade(7)
+
+    def test_victim_state_reported(self):
+        c = FullyAssociativeCache(1)
+        c.insert(1, EXCLUSIVE)
+        victim = c.insert(2, SHARED)
+        assert victim.state == EXCLUSIVE
+
+    def test_eviction_counter(self):
+        c = FullyAssociativeCache(1)
+        c.insert(1, SHARED)
+        c.insert(2, SHARED)
+        c.insert(3, SHARED)
+        assert c.evictions == 2
+        assert c.inserts == 3
+
+
+class TestPending:
+    def test_pending_until_future(self):
+        c = FullyAssociativeCache(4)
+        c.insert(1, SHARED, pending_until=50)
+        assert c.lookup(1).is_pending(now=10)
+        assert not c.lookup(1).is_pending(now=50)
+        assert not c.lookup(1).is_pending(now=51)
+
+    def test_default_not_pending(self):
+        c = FullyAssociativeCache(4)
+        c.insert(1, SHARED)
+        assert not c.lookup(1).is_pending(now=0)
+
+
+class TestInfiniteCache:
+    def test_never_evicts(self):
+        c = FullyAssociativeCache(None)
+        for line in range(10_000):
+            assert c.insert(line, SHARED) is None
+        assert len(c) == 10_000
+        assert c.is_infinite
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            FullyAssociativeCache(0)
+
+
+class TestSetAssociative:
+    def test_set_conflict_evicts_within_set(self):
+        # 4 lines, 2-way: sets {0,2,...} and {1,3,...}
+        c = SetAssociativeCache(capacity_lines=4, associativity=2)
+        c.insert(0, SHARED)
+        c.insert(2, SHARED)
+        victim = c.insert(4, SHARED)  # third line mapping to set 0
+        assert victim.line == 0
+        assert 2 in c and 4 in c
+
+    def test_no_cross_set_eviction(self):
+        c = SetAssociativeCache(4, 2)
+        c.insert(0, SHARED)
+        c.insert(2, SHARED)
+        assert c.insert(1, SHARED) is None  # other set has room
+        assert len(c) == 3
+
+    def test_lru_within_set(self):
+        c = SetAssociativeCache(4, 2)
+        c.insert(0, SHARED)
+        c.insert(2, SHARED)
+        c.lookup(0)
+        assert c.insert(4, SHARED).line == 2
+
+    def test_direct_mapped(self):
+        c = SetAssociativeCache(4, 1)
+        c.insert(0, SHARED)
+        assert c.insert(4, SHARED).line == 0
+
+    def test_capacity_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(5, 2)
+
+    def test_shared_api_surface(self):
+        c = SetAssociativeCache(4, 2)
+        c.insert(0, EXCLUSIVE)
+        c.downgrade(0)
+        assert c.state_of(0) == SHARED
+        assert c.peek(0) is not None
+        assert c.invalidate(0)
+        assert not c.is_infinite
+
+    def test_resident_lines(self):
+        c = SetAssociativeCache(4, 2)
+        c.insert(0, SHARED)
+        c.insert(1, SHARED)
+        assert sorted(c.resident_lines()) == [0, 1]
+
+
+class TestMakeCache:
+    def test_none_assoc_gives_fully_associative(self):
+        assert isinstance(make_cache(64, None), FullyAssociativeCache)
+
+    def test_infinite_always_fully_associative(self):
+        assert isinstance(make_cache(None, 4), FullyAssociativeCache)
+
+    def test_assoc_gives_set_associative(self):
+        c = make_cache(64, 4)
+        assert isinstance(c, SetAssociativeCache)
+        assert c.n_sets == 16
+
+    def test_assoc_at_capacity_degrades_to_full(self):
+        assert isinstance(make_cache(4, 8), FullyAssociativeCache)

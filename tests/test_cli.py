@@ -1,0 +1,149 @@
+"""CLI smoke tests (tiny problem sizes via monkeypatched quick presets)."""
+
+import pytest
+
+from repro import cli
+
+TINY = {
+    "lu": dict(n=32, block=8),
+    "fft": dict(n_points=256),
+    "ocean": dict(n=16, n_vcycles=1),
+    "barnes": dict(n_particles=64, n_steps=1),
+    "fmm": dict(n_particles=64, levels=2, n_steps=1),
+    "radix": dict(n_keys=512, radix=16, n_digits=1),
+    "raytrace": dict(width=8, height=8, n_spheres=8),
+    "volrend": dict(volume_side=8, width=8, height=8, block=2),
+    "mp3d": dict(n_particles=64, n_steps=1),
+}
+
+
+@pytest.fixture(autouse=True)
+def tiny_quick(monkeypatch):
+    monkeypatch.setattr(cli, "QUICK_PROBLEM_SIZES", TINY)
+
+
+def run_cli(*argv):
+    return cli.main(list(argv))
+
+
+BASE = ["--processors", "8", "--quick"]
+
+
+class TestRun:
+    def test_run_prints_summary(self, capsys):
+        assert run_cli(*BASE, "run", "ocean", "--clusters", "2",
+                       "--cache", "4") == 0
+        out = capsys.readouterr().out
+        assert "execution time" in out
+        assert "miss rate" in out
+
+    def test_run_infinite_cache(self, capsys):
+        assert run_cli(*BASE, "run", "radix") == 0
+        assert "execution time" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_fig2_subset(self, capsys):
+        assert run_cli(*BASE, "--cluster-sizes", "1,2",
+                       "fig2", "--apps", "radix") == 0
+        out = capsys.readouterr().out
+        assert "Figure 2 (radix)" in out
+        assert "100.0" in out
+
+    def test_fig3(self, capsys):
+        assert run_cli(*BASE, "--cluster-sizes", "1,2", "fig3") == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_fig4_capacity(self, capsys):
+        assert run_cli(*BASE, "--cluster-sizes", "1,2",
+                       "--cache-sizes", "1,inf", "fig4") == 0
+        out = capsys.readouterr().out
+        assert "raytrace" in out
+        assert "inf" in out
+
+    def test_ascii_rendering(self, capsys):
+        assert run_cli(*BASE, "--cluster-sizes", "1,2", "--ascii",
+                       "fig2", "--apps", "radix") == 0
+        assert "#" in capsys.readouterr().out
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        assert run_cli("table1") == 0
+        assert "150" in capsys.readouterr().out
+
+    def test_table4(self, capsys):
+        assert run_cli("table4") == 0
+        assert "0.125" in capsys.readouterr().out
+
+    def test_table5_paper_only(self, capsys):
+        assert run_cli("table5") == 0
+        assert "1.055" in capsys.readouterr().out
+
+    def test_table6(self, capsys):
+        assert run_cli(*BASE, "--cluster-sizes", "1,2", "table6") == 0
+        out = capsys.readouterr().out
+        assert "barnes" in out and "mp3d" in out
+
+    def test_table7(self, capsys):
+        assert run_cli(*BASE, "--cluster-sizes", "1,2", "table7") == 0
+        out = capsys.readouterr().out
+        assert "ocean" in out and "lu" in out
+
+
+class TestAnalysis:
+    def test_workingset(self, capsys):
+        assert run_cli(*BASE, "--cache-sizes", "1,inf",
+                       "workingset", "fmm") == 0
+        out = capsys.readouterr().out
+        assert "miss rate" in out and "knee" in out
+
+    def test_merge_anatomy(self, capsys):
+        assert run_cli(*BASE, "--cluster-sizes", "1,2",
+                       "merge", "radix") == 0
+        assert "load+merge" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "notanapp")
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            run_cli()
+
+
+class TestCompareAndTrace:
+    def test_compare_organizations(self, capsys):
+        assert run_cli(*BASE, "compare", "ocean", "--clusters", "2",
+                       "--cache", "4") == 0
+        out = capsys.readouterr().out
+        assert "shared-cache cluster" in out
+        assert "snoopy" in out
+        assert "cache-to-cache transfers" in out
+
+    def test_trace_stats(self, capsys):
+        assert run_cli(*BASE, "trace", "radix") == 0
+        out = capsys.readouterr().out
+        assert "references" in out and "footprint" in out
+
+    def test_trace_save(self, capsys, tmp_path):
+        out_file = tmp_path / "t.npz"
+        assert run_cli(*BASE, "trace", "radix", "--output",
+                       str(out_file)) == 0
+        assert out_file.exists()
+        from repro.sim.trace import ReferenceTrace
+        assert len(ReferenceTrace.load(out_file)) > 0
+
+
+class TestCapacityFigureCommands:
+    def test_fig5_mp3d(self, capsys):
+        assert run_cli(*BASE, "--cluster-sizes", "1,2",
+                       "--cache-sizes", "1,inf", "fig5") == 0
+        assert "mp3d" in capsys.readouterr().out
+
+    def test_fig8_volrend(self, capsys):
+        assert run_cli(*BASE, "--cluster-sizes", "1,2",
+                       "--cache-sizes", "1,inf", "fig8") == 0
+        assert "volrend" in capsys.readouterr().out

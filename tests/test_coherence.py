@@ -1,0 +1,305 @@
+"""Protocol-level tests: scripted reference streams with hand-computed
+Table-1 latencies, miss classes, and state transitions."""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.metrics import MissCause
+from repro.memory.allocation import PageAllocator
+from repro.memory.cache import EXCLUSIVE, SHARED
+from repro.memory.coherence import (READ_HIT, READ_MERGE, READ_MISS,
+                                    CoherentMemorySystem)
+from repro.memory.directory import DIR_EXCLUSIVE, DIR_SHARED, NOT_CACHED
+
+LINES_PER_PAGE = 4096 // 64
+
+
+def make_system(n_processors=4, cluster_size=2, cache_kb=4.0,
+                page_homes=None):
+    """Memory system with explicitly controlled page homes."""
+    cfg = MachineConfig(n_processors=n_processors, cluster_size=cluster_size,
+                        cache_kb_per_processor=cache_kb)
+    al = PageAllocator(cfg.n_clusters, cfg.page_size, cfg.line_size)
+    for page, home in (page_homes or {}).items():
+        al.place_page(page, home)
+    return CoherentMemorySystem(cfg, al)
+
+
+class TestReadLatencies:
+    def test_cold_read_local_home_30(self):
+        mem = make_system(page_homes={0: 0})
+        outcome, stall = mem.read(processor=0, line=0, now=0)
+        assert outcome == READ_MISS
+        assert stall == 30
+
+    def test_cold_read_remote_home_100(self):
+        mem = make_system(page_homes={0: 1})
+        outcome, stall = mem.read(processor=0, line=0, now=0)
+        assert outcome == READ_MISS
+        assert stall == 100
+
+    def test_dirty_remote_local_home_100(self):
+        # home is requester's cluster; dirty in the other cluster
+        mem = make_system(page_homes={0: 0})
+        mem.write(processor=2, line=0, now=0)      # cluster 1 takes EXCL
+        outcome, stall = mem.read(processor=0, line=0, now=200)
+        assert outcome == READ_MISS
+        assert stall == 100
+
+    def test_dirty_at_remote_home_100(self):
+        # home cluster 1 itself owns the line dirty; requester cluster 0
+        mem = make_system(page_homes={0: 1})
+        mem.write(processor=2, line=0, now=0)
+        outcome, stall = mem.read(processor=0, line=0, now=200)
+        assert outcome == READ_MISS
+        assert stall == 100
+
+    def test_dirty_third_party_150(self):
+        # 4 clusters: home=2, owner=1, requester=0 -> 3 hops
+        mem = make_system(n_processors=8, cluster_size=2,
+                          page_homes={0: 2})
+        mem.write(processor=2, line=0, now=0)      # cluster 1 owns dirty
+        outcome, stall = mem.read(processor=0, line=0, now=200)
+        assert outcome == READ_MISS
+        assert stall == 150
+
+    def test_second_read_same_cluster_hits(self):
+        mem = make_system(page_homes={0: 0})
+        mem.read(0, 0, now=0)
+        outcome, stall = mem.read(1, 0, now=100)   # cluster mate, fill done
+        assert outcome == READ_HIT
+        assert stall == 0
+
+    def test_read_shared_from_other_cluster_uses_home(self):
+        # line SHARED at dir (cached by cluster 0); cluster 1 reads: home
+        # supplies data (SHARED dir state -> clean path)
+        mem = make_system(page_homes={0: 0})
+        mem.read(0, 0, now=0)
+        outcome, stall = mem.read(2, 0, now=100)
+        assert outcome == READ_MISS
+        assert stall == 100  # remote home for cluster 1
+
+
+class TestMergeSemantics:
+    def test_merge_blocks_until_fill(self):
+        mem = make_system(page_homes={0: 0})
+        mem.read(0, 0, now=0)                      # pending until 30
+        outcome, stall = mem.read(1, 0, now=5)     # cluster mate merges
+        assert outcome == READ_MERGE
+        assert stall == 25
+
+    def test_merge_on_own_write_fill(self):
+        mem = make_system(page_homes={0: 0})
+        mem.write(0, 0, now=0)                     # pending until 30
+        outcome, stall = mem.read(0, 0, now=10)
+        assert outcome == READ_MERGE
+        assert stall == 20
+
+    def test_read_after_fill_complete_hits(self):
+        mem = make_system(page_homes={0: 0})
+        mem.read(0, 0, now=0)
+        outcome, stall = mem.read(1, 0, now=30)
+        assert outcome == READ_HIT
+
+    def test_merge_retry_hits_normally(self):
+        mem = make_system(page_homes={0: 0})
+        mem.read(0, 0, now=0)
+        mem.read(1, 0, now=5)
+        outcome, stall = mem.read(1, 0, now=30, is_retry=True)
+        assert outcome == READ_HIT
+        # retry did not double count the reference
+        assert mem.counters[0].reads == 2
+
+    def test_merge_refetch_after_invalidation(self):
+        mem = make_system(page_homes={0: 0})
+        mem.read(0, 0, now=0)                      # c0 fill pending till 30
+        out, stall = mem.read(1, 0, now=5)         # merge until 30
+        assert out == READ_MERGE
+        mem.write(2, 0, now=10)                    # c1 invalidates pending line
+        out, stall = mem.read(1, 0, now=30, is_retry=True)
+        assert out == READ_MISS
+        assert mem.counters[0].merge_refetches == 1
+        # the refetch sees the line dirty in cluster 1 (home = cluster 0)
+        assert stall == 100
+
+
+class TestWriteSemantics:
+    def test_write_miss_installs_exclusive(self):
+        mem = make_system(page_homes={0: 0})
+        mem.write(0, 0, now=0)
+        assert mem.caches[0].state_of(0) == EXCLUSIVE
+        assert mem.directory.peek(0).state == DIR_EXCLUSIVE
+        assert mem.counters[0].write_misses == 1
+
+    def test_write_hit_on_exclusive(self):
+        mem = make_system(page_homes={0: 0})
+        mem.write(0, 0, now=0)
+        mem.write(1, 0, now=50)                    # cluster mate, same cache
+        assert mem.counters[0].hits == 1
+        assert mem.counters[0].write_misses == 1
+
+    def test_upgrade_from_shared(self):
+        mem = make_system(page_homes={0: 0})
+        mem.read(0, 0, now=0)
+        mem.write(0, 0, now=50)
+        assert mem.counters[0].upgrade_misses == 1
+        assert mem.caches[0].state_of(0) == EXCLUSIVE
+
+    def test_upgrade_invalidates_other_sharers(self):
+        mem = make_system(page_homes={0: 0})
+        mem.read(0, 0, now=0)
+        mem.read(2, 0, now=50)                     # cluster 1 shares too
+        mem.write(0, 0, now=200)
+        assert mem.caches[1].state_of(0) is None
+        assert mem.directory.invalidations_sent == 1
+        assert mem.counters[1].by_cause[MissCause.COHERENCE] == 0  # not yet
+        out, _ = mem.read(2, 0, now=300)
+        assert out == READ_MISS
+        assert mem.counters[1].by_cause[MissCause.COHERENCE] == 1
+
+    def test_write_to_dirty_remote_takes_ownership(self):
+        mem = make_system(page_homes={0: 0})
+        mem.write(0, 0, now=0)
+        mem.write(2, 0, now=100)
+        assert mem.caches[0].state_of(0) is None
+        assert mem.directory.peek(0).owner == 1
+
+    def test_clustering_obviates_invalidation(self):
+        """Two processors in ONE cluster: write after read causes no
+        invalidation traffic at all (paper §2: eliminated entirely)."""
+        mem = make_system(page_homes={0: 0})
+        mem.read(0, 0, now=0)
+        mem.write(1, 0, now=50)                    # same cluster: upgrade
+        assert mem.directory.invalidations_sent == 0
+
+
+class TestReadOfDirtyLineDowngrades:
+    def test_owner_downgrades_and_keeps_data(self):
+        mem = make_system(page_homes={0: 0})
+        mem.write(2, 0, now=0)                     # cluster 1 dirty
+        mem.read(0, 0, now=100)
+        assert mem.caches[1].state_of(0) == SHARED
+        assert mem.caches[0].state_of(0) == SHARED
+        e = mem.directory.peek(0)
+        assert e.state == DIR_SHARED
+        assert sorted(e.sharer_list()) == [0, 1]
+
+
+class TestEvictions:
+    def _tiny(self):
+        # 1 processor per cluster, cache of exactly 16 lines (1 KB)
+        return make_system(n_processors=2, cluster_size=1, cache_kb=1.0)
+
+    def test_shared_eviction_sends_hint(self):
+        mem = self._tiny()
+        capacity = mem.caches[0].capacity_lines
+        for line in range(capacity + 1):
+            mem.read(0, line, now=line * 200)
+        assert mem.directory.replacement_hints == 1
+        assert mem.directory.peek(0).state == NOT_CACHED
+
+    def test_exclusive_eviction_writes_back(self):
+        mem = self._tiny()
+        capacity = mem.caches[0].capacity_lines
+        mem.write(0, 0, now=0)
+        for line in range(1, capacity + 1):
+            mem.read(0, line, now=line * 200)
+        assert mem.directory.writebacks == 1
+        assert mem.directory.peek(0).state == NOT_CACHED
+
+    def test_capacity_miss_classified(self):
+        mem = self._tiny()
+        capacity = mem.caches[0].capacity_lines
+        for line in range(capacity + 1):
+            mem.read(0, line, now=line * 200)
+        mem.read(0, 0, now=10**6)  # line 0 was evicted
+        assert mem.counters[0].by_cause[MissCause.CAPACITY] == 1
+
+    def test_cold_misses_classified(self):
+        mem = self._tiny()
+        mem.read(0, 0, now=0)
+        mem.read(0, 1, now=200)
+        assert mem.counters[0].by_cause[MissCause.COLD] == 2
+
+
+class TestInvariants:
+    def test_invariants_after_scripted_run(self):
+        mem = make_system(n_processors=8, cluster_size=2, cache_kb=1.0)
+        t = 0
+        for i in range(300):
+            proc = (i * 7) % 8
+            line = (i * 13) % 64
+            t += 200
+            if i % 3 == 0:
+                mem.write(proc, line, t)
+            else:
+                mem.read(proc, line, t)
+        mem.check_invariants()
+
+    def test_aggregate_counters_sum(self):
+        mem = make_system()
+        mem.read(0, 0, 0)
+        mem.read(2, 1, 0)
+        mem.write(0, 2, 0)
+        total = mem.aggregate_counters()
+        assert total.references == 3
+        assert total.reads == 2
+        assert total.writes == 1
+
+    def test_allocator_cluster_count_checked(self):
+        cfg = MachineConfig(n_processors=4, cluster_size=2)
+        bad = PageAllocator(n_clusters=7)
+        with pytest.raises(ValueError):
+            CoherentMemorySystem(cfg, bad)
+
+    def test_cluster_of_non_power_of_two(self):
+        cfg = MachineConfig(n_processors=12, cluster_size=3)
+        mem = CoherentMemorySystem(cfg)
+        assert mem.cluster_of(0) == 0
+        assert mem.cluster_of(2) == 0
+        assert mem.cluster_of(3) == 1
+        assert mem.cluster_of(11) == 3
+
+
+class TestPrefetchHits:
+    def test_cluster_mate_first_hit_counts_as_prefetch(self):
+        mem = make_system(page_homes={0: 0})
+        mem.read(0, 0, now=0)             # p0 fetches
+        mem.read(1, 0, now=100)           # cluster mate: prefetch hit
+        assert mem.counters[0].prefetch_hits == 1
+
+    def test_counted_once_per_fill(self):
+        mem = make_system(page_homes={0: 0})
+        mem.read(0, 0, now=0)
+        mem.read(1, 0, now=100)
+        mem.read(1, 0, now=200)           # further hits are ordinary
+        assert mem.counters[0].prefetch_hits == 1
+
+    def test_own_reuse_is_not_a_prefetch(self):
+        mem = make_system(page_homes={0: 0})
+        mem.read(0, 0, now=0)
+        mem.read(0, 0, now=100)
+        assert mem.counters[0].prefetch_hits == 0
+
+    def test_unclustered_machine_has_no_prefetch_hits(self):
+        mem = make_system(n_processors=4, cluster_size=1)
+        mem.read(0, 0, now=0)
+        mem.read(0, 0, now=100)
+        mem.read(1, 0, now=200)           # different CLUSTER: its own miss
+        assert all(c.prefetch_hits == 0 for c in mem.counters)
+
+    def test_prefetch_hits_grow_with_clustering(self):
+        """The §2 mechanism end-to-end on a real app."""
+        from repro.apps.registry import build_app
+        from repro.sim.engine import Engine
+        totals = {}
+        for cluster in (1, 4):
+            cfg = MachineConfig(n_processors=4, cluster_size=cluster,
+                                cache_kb_per_processor=16)
+            app = build_app("ocean", cfg, n=16, n_vcycles=1)
+            app.ensure_setup()
+            mem = CoherentMemorySystem(cfg, app.allocator)
+            Engine(cfg, mem).run(app.program)
+            totals[cluster] = mem.aggregate_counters().prefetch_hits
+        assert totals[1] == 0
+        assert totals[4] > 0

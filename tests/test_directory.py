@@ -1,0 +1,133 @@
+"""Unit tests for the full-bit-vector directory."""
+
+import pytest
+
+from repro.memory.directory import (DIR_EXCLUSIVE, DIR_SHARED, NOT_CACHED,
+                                    DirEntry, Directory)
+
+
+class TestDirEntry:
+    def test_starts_not_cached(self):
+        e = DirEntry()
+        assert e.state == NOT_CACHED
+        assert e.sharers == 0
+
+    def test_sharer_bitmask(self):
+        e = DirEntry()
+        e.add_sharer(0)
+        e.add_sharer(5)
+        assert e.is_sharer(0)
+        assert e.is_sharer(5)
+        assert not e.is_sharer(3)
+        assert e.sharer_list() == [0, 5]
+
+    def test_remove_sharer(self):
+        e = DirEntry()
+        e.add_sharer(2)
+        e.remove_sharer(2)
+        assert not e.is_sharer(2)
+        assert e.sharers == 0
+
+    def test_only_sharer(self):
+        e = DirEntry()
+        e.add_sharer(3)
+        assert e.only_sharer_is(3)
+        e.add_sharer(1)
+        assert not e.only_sharer_is(3)
+
+    def test_owner_requires_exclusive(self):
+        e = DirEntry()
+        e.add_sharer(4)
+        with pytest.raises(ValueError):
+            _ = e.owner
+        e.state = DIR_EXCLUSIVE
+        assert e.owner == 4
+
+
+class TestDirectory:
+    def test_entry_created_on_demand(self):
+        d = Directory(4)
+        assert d.peek(10) is None
+        e = d.entry(10)
+        assert d.peek(10) is e
+        assert len(d) == 1
+
+    def test_read_fill_shares(self):
+        d = Directory(4)
+        d.record_read_fill(1, cluster=2)
+        e = d.peek(1)
+        assert e.state == DIR_SHARED
+        assert e.sharer_list() == [2]
+
+    def test_multiple_readers_accumulate(self):
+        d = Directory(4)
+        d.record_read_fill(1, 0)
+        d.record_read_fill(1, 3)
+        assert d.peek(1).sharer_list() == [0, 3]
+
+    def test_record_exclusive_counts_invalidations(self):
+        d = Directory(4)
+        d.record_read_fill(1, 0)
+        d.record_read_fill(1, 1)
+        d.record_read_fill(1, 2)
+        n = d.record_exclusive(1, cluster=1)
+        assert n == 2
+        e = d.peek(1)
+        assert e.state == DIR_EXCLUSIVE
+        assert e.owner == 1
+        assert d.invalidations_sent == 2
+
+    def test_exclusive_from_not_cached(self):
+        d = Directory(4)
+        assert d.record_exclusive(7, 3) == 0
+        assert d.peek(7).owner == 3
+
+    def test_replacement_hint_clears_bit(self):
+        d = Directory(4)
+        d.record_read_fill(1, 0)
+        d.record_read_fill(1, 1)
+        d.replacement_hint(1, 0)
+        assert d.peek(1).sharer_list() == [1]
+        assert d.replacement_hints == 1
+
+    def test_last_hint_returns_to_not_cached(self):
+        d = Directory(4)
+        d.record_read_fill(1, 0)
+        d.replacement_hint(1, 0)
+        assert d.peek(1).state == NOT_CACHED
+
+    def test_hint_for_unknown_line_ignored(self):
+        d = Directory(4)
+        d.replacement_hint(99, 0)  # no crash
+        assert d.replacement_hints == 0
+
+    def test_writeback_clears_ownership(self):
+        d = Directory(4)
+        d.record_exclusive(1, 2)
+        d.writeback(1, 2)
+        assert d.peek(1).state == NOT_CACHED
+        assert d.writebacks == 1
+
+    def test_writeback_wrong_owner_ignored(self):
+        d = Directory(4)
+        d.record_exclusive(1, 2)
+        d.writeback(1, 3)
+        assert d.peek(1).state == DIR_EXCLUSIVE
+
+    def test_downgrade_owner(self):
+        d = Directory(4)
+        d.record_exclusive(1, 2)
+        d.downgrade_owner(1, reader=0)
+        e = d.peek(1)
+        assert e.state == DIR_SHARED
+        assert e.sharer_list() == [0, 2]
+
+    def test_downgrade_non_exclusive_raises(self):
+        d = Directory(4)
+        d.record_read_fill(1, 0)
+        with pytest.raises(ValueError):
+            d.downgrade_owner(1, 1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            Directory(0)

@@ -1,0 +1,99 @@
+"""Extra rendering-layer tests: ASCII charts, series extraction, and
+capacity-figure layout details."""
+
+import pytest
+
+from repro.analysis.figures import (Bar, BarGroup, FigureData, render_ascii,
+                                    render_rows)
+
+
+def synth_figure() -> FigureData:
+    """Hand-built figure resembling a two-cache-size capacity sweep."""
+    g1 = BarGroup(label="4k", bars=[
+        Bar("1p", cpu=50.0, load=30.0, merge=0.0, sync=20.0),
+        Bar("8p", cpu=50.0, load=10.0, merge=5.0, sync=15.0),
+    ])
+    g2 = BarGroup(label="inf", bars=[
+        Bar("1p", cpu=70.0, load=15.0, merge=0.0, sync=15.0),
+        Bar("8p", cpu=70.0, load=8.0, merge=2.0, sync=12.0),
+    ])
+    return FigureData(title="synthetic", groups=[g1, g2])
+
+
+class TestBar:
+    def test_total(self):
+        b = Bar("x", 1.0, 2.0, 3.0, 4.0)
+        assert b.total == 10.0
+
+    def test_component_accessor(self):
+        b = Bar("x", 1.0, 2.0, 3.0, 4.0)
+        assert b.component("load") == 2.0
+        with pytest.raises(AttributeError):
+            b.component("nonsense")
+
+
+class TestFigureData:
+    def test_bar_lookup_by_group(self):
+        fig = synth_figure()
+        assert fig.bar("4k", "8p").total == 80.0
+        assert fig.bar("inf", "1p").total == 100.0
+
+    def test_bar_lookup_missing(self):
+        with pytest.raises(KeyError):
+            synth_figure().bar("32k", "1p")
+
+    def test_series_totals(self):
+        series = synth_figure().series()
+        assert series["4k"] == [100.0, 80.0]
+        assert series["inf"] == [100.0, 92.0]
+
+    def test_series_component(self):
+        series = synth_figure().series("merge")
+        assert series["4k"] == [0.0, 5.0]
+
+
+class TestRenderRows:
+    def test_every_bar_present(self):
+        text = render_rows(synth_figure())
+        assert text.count("1p") == 2
+        assert text.count("8p") == 2
+        assert "synthetic" in text
+
+    def test_numbers_formatted(self):
+        text = render_rows(synth_figure())
+        assert "100.0" in text
+        assert "80.0" in text
+
+
+class TestRenderAscii:
+    def test_glyphs_and_legend(self):
+        art = render_ascii(synth_figure())
+        for glyph in "#=~.":
+            assert glyph in art
+        assert "#=cpu" in art
+
+    def test_group_labels_in_axis(self):
+        art = render_ascii(synth_figure())
+        assert "4k:1p" in art
+        assert "inf:8p" in art
+
+    def test_height_scales(self):
+        short = render_ascii(synth_figure(), height=10)
+        tall = render_ascii(synth_figure(), height=40)
+        assert len(tall.splitlines()) > len(short.splitlines())
+
+    def test_empty_figure(self):
+        art = render_ascii(FigureData(title="empty"))
+        assert "empty" in art
+
+    def test_bars_roughly_proportional(self):
+        art = render_ascii(synth_figure(), height=20)
+        # the 100-total column must be visibly taller than the 80-total one
+        lines = art.splitlines()
+        col_heights = {}
+        labels = lines[-2]
+        for label in ("4k:1p", "4k:8p"):
+            pos = labels.index(label) + len(label) // 2
+            col_heights[label] = sum(
+                1 for ln in lines[2:-2] if pos < len(ln) and ln[pos] != " ")
+        assert col_heights["4k:1p"] > col_heights["4k:8p"]

@@ -1,0 +1,73 @@
+"""Tests for the sweep driver and the paper's normalization."""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.study import (ClusteringStudy, cache_label, normalize_sweep)
+
+CFG = MachineConfig(n_processors=8)
+KW = {"n": 16, "n_vcycles": 1}  # tiny ocean
+
+
+@pytest.fixture(scope="module")
+def cluster_sweep():
+    study = ClusteringStudy("ocean", CFG, dict(KW))
+    return study.cluster_sweep(cache_kb=None, cluster_sizes=(1, 2, 4))
+
+
+@pytest.fixture(scope="module")
+def capacity_sweep():
+    study = ClusteringStudy("ocean", CFG, dict(KW))
+    return study.capacity_sweep(cache_sizes=(1, None), cluster_sizes=(1, 2))
+
+
+class TestClusterSweep:
+    def test_all_points_present(self, cluster_sweep):
+        assert set(cluster_sweep) == {1, 2, 4}
+
+    def test_points_tagged(self, cluster_sweep):
+        p = cluster_sweep[2]
+        assert p.app == "ocean"
+        assert p.cluster_size == 2
+        assert p.cache_kb is None
+        assert p.execution_time == p.result.execution_time
+
+    def test_same_problem_each_point(self, cluster_sweep):
+        # identical reference counts: the same computation ran in every
+        # configuration (modulo barrier ops which emit no references)
+        refs = {c: p.result.misses.references for c, p in
+                cluster_sweep.items()}
+        assert len(set(refs.values())) == 1
+
+
+class TestNormalization:
+    def test_baseline_is_100(self, cluster_sweep):
+        norm = normalize_sweep(cluster_sweep)
+        assert norm[1]["total"] == pytest.approx(100.0)
+
+    def test_components_sum_to_total(self, cluster_sweep):
+        norm = normalize_sweep(cluster_sweep)
+        for v in norm.values():
+            s = v["cpu"] + v["load"] + v["merge"] + v["sync"]
+            assert s == pytest.approx(v["total"], abs=0.2)
+
+    def test_capacity_normalized_per_cache_size(self, capacity_sweep):
+        norm = normalize_sweep(capacity_sweep)
+        assert norm[(1, 1)]["total"] == pytest.approx(100.0)
+        assert norm[(None, 1)]["total"] == pytest.approx(100.0)
+
+    def test_missing_baseline_raises(self, cluster_sweep):
+        partial = {c: p for c, p in cluster_sweep.items() if c != 1}
+        with pytest.raises(ValueError, match="baseline"):
+            normalize_sweep(partial)
+
+    def test_empty_sweep(self):
+        assert normalize_sweep({}) == {}
+
+
+class TestCacheLabel:
+    def test_labels(self):
+        assert cache_label(None) == "inf"
+        assert cache_label(4) == "4k"
+        assert cache_label(16.0) == "16k"
+        assert cache_label(0.5) == "0.5k"

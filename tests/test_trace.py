@@ -1,0 +1,112 @@
+"""Tests for reference-trace capture and trace-driven replay."""
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import build_app
+from repro.core.config import MachineConfig
+from repro.memory.coherence import CoherentMemorySystem
+from repro.sim.engine import Engine
+from repro.sim.trace import (KIND_READ, KIND_WRITE, ReferenceTrace,
+                             TracingMemory, replay)
+
+
+def record_ocean(cluster=2, cache=4.0):
+    cfg = MachineConfig(n_processors=4, cluster_size=cluster,
+                        cache_kb_per_processor=cache)
+    app = build_app("ocean", cfg, n=16, n_vcycles=1)
+    app.ensure_setup()
+    tm = TracingMemory(CoherentMemorySystem(cfg, app.allocator))
+    result = Engine(cfg, tm).run(app.program)
+    return cfg, app, tm, result
+
+
+class TestCapture:
+    def test_records_every_reference(self):
+        _, _, tm, result = record_ocean()
+        trace = tm.trace()
+        assert len(trace) == result.misses.references
+
+    def test_read_write_split_matches(self):
+        _, _, tm, result = record_ocean()
+        s = tm.trace().summary()
+        assert s["reads"] == result.misses.reads
+        assert s["writes"] == result.misses.writes
+
+    def test_times_nondecreasing_per_processor(self):
+        _, _, tm, _ = record_ocean()
+        trace = tm.trace()
+        for p in range(4):
+            mask = trace.processors == p
+            t = trace.times[mask]
+            assert np.all(np.diff(t) >= 0)
+
+    def test_retries_not_double_recorded(self):
+        """Merged-read retries are re-issues, not new references."""
+        _, _, tm, result = record_ocean()
+        assert len(tm.trace()) == result.misses.references
+
+    def test_record_accessors(self):
+        _, _, tm, _ = record_ocean()
+        trace = tm.trace()
+        rec = trace[0]
+        assert rec.kind in (KIND_READ, KIND_WRITE)
+        assert rec.time >= 0
+
+    def test_footprint(self):
+        _, _, tm, _ = record_ocean()
+        trace = tm.trace()
+        assert trace.footprint_bytes() == \
+            len(np.unique(trace.lines)) * 64
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        _, _, tm, _ = record_ocean()
+        trace = tm.trace()
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = ReferenceTrace.load(path)
+        assert len(loaded) == len(trace)
+        assert np.array_equal(loaded.lines, trace.lines)
+        assert np.array_equal(loaded.times, trace.times)
+
+    def test_empty_trace_summary(self):
+        t = ReferenceTrace()
+        assert t.summary()["references"] == 0
+
+
+class TestReplay:
+    def test_replay_reproduces_reference_counts(self):
+        cfg, app, tm, result = record_ocean()
+        fresh = CoherentMemorySystem(cfg, _fresh_allocator(app, cfg))
+        counters = replay(tm.trace(), fresh)
+        assert counters.references == result.misses.references
+        assert counters.reads == result.misses.reads
+
+    def test_replay_against_other_configuration(self):
+        """The point of trace-driven study: same trace, different cache."""
+        cfg, app, tm, _ = record_ocean(cache=1.0)
+        big = MachineConfig(n_processors=4, cluster_size=2,
+                            cache_kb_per_processor=64)
+        small_counters = replay(tm.trace(), CoherentMemorySystem(
+            cfg, _fresh_allocator(app, cfg)))
+        big_counters = replay(tm.trace(), CoherentMemorySystem(
+            big, _fresh_allocator(app, big)))
+        assert big_counters.misses <= small_counters.misses
+
+    def test_replay_close_to_execution_driven(self):
+        """Replaying a 1-cluster trace on the same configuration must give
+        identical miss counts (no timing feedback to disagree about)."""
+        cfg, app, tm, result = record_ocean()
+        counters = replay(tm.trace(), CoherentMemorySystem(
+            cfg, _fresh_allocator(app, cfg)))
+        assert counters.read_misses == pytest.approx(
+            result.misses.read_misses, rel=0.02)
+
+
+def _fresh_allocator(app, cfg):
+    """Rebuild the app's page placements for a fresh memory system."""
+    rebuilt = build_app("ocean", cfg, n=16, n_vcycles=1)
+    rebuilt.ensure_setup()
+    return rebuilt.allocator
