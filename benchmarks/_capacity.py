@@ -9,9 +9,8 @@ The figure-specific benchmark files are thin wrappers over
 from __future__ import annotations
 
 from repro.analysis import figure_from_capacity_sweep, render_rows
-from repro.core.study import ClusteringStudy
 
-from _support import app_kwargs, current_scale, machine
+from _support import current_scale, study as make_study
 
 CLUSTERS = (1, 2, 4, 8)
 CACHE_SIZES = (4, 16, 32, None)
@@ -21,7 +20,7 @@ QUICK_CACHE_SIZES = (1, 4, None)
 def run_capacity_figure(benchmark, emit, fignum: int, app: str):
     """Run one finite-capacity figure and emit the paper-format rows."""
     caches = QUICK_CACHE_SIZES if current_scale() == "quick" else CACHE_SIZES
-    study = ClusteringStudy(app, machine(), app_kwargs(app))
+    study = make_study(app)
 
     def run():
         return study.capacity_sweep(caches, CLUSTERS)

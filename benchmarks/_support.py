@@ -1,7 +1,13 @@
 """Shared helpers for the benchmark harness (scale + machine selection).
 
 See ``benchmarks/conftest.py`` for the fixtures and the description of the
-``REPRO_BENCH_SCALE`` knob.
+``REPRO_BENCH_SCALE`` knob.  Two more environment knobs control execution:
+
+* ``REPRO_BENCH_JOBS``  — worker processes per sweep (default 1 = serial);
+  results are byte-identical either way, only wall-clock changes;
+* ``REPRO_BENCH_CACHE`` — set to ``1`` to serve finished points from the
+  persistent result cache.  **Off by default**: benchmarks exist to measure
+  simulation time, and a cache hit would report the cache's speed instead.
 """
 
 from __future__ import annotations
@@ -9,6 +15,9 @@ from __future__ import annotations
 import os
 
 from repro.core.config import MachineConfig
+from repro.core.executor import SweepExecutor
+from repro.core.resultcache import ResultCache
+from repro.core.study import ClusteringStudy
 
 #: problem-size overrides per scale; "PAPER" = registry PAPER_PROBLEM_SIZES
 SCALE_OVERRIDES: dict[str, dict | str] = {
@@ -47,3 +56,20 @@ def app_kwargs(app: str) -> dict:
 def machine() -> MachineConfig:
     n = 16 if current_scale() == "quick" else 64
     return MachineConfig(n_processors=n)
+
+
+def executor() -> SweepExecutor:
+    """Sweep executor configured from the environment knobs above."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    use_cache = os.environ.get("REPRO_BENCH_CACHE", "0").lower() \
+        not in ("", "0", "false", "no")
+    return SweepExecutor(
+        backend="process" if jobs > 1 else "serial",
+        max_workers=jobs if jobs > 1 else None,
+        cache=ResultCache() if use_cache else None)
+
+
+def study(app: str) -> ClusteringStudy:
+    """The standard benchmark study: current scale, machine, and executor."""
+    return ClusteringStudy(app, machine(), app_kwargs(app),
+                           executor=executor())

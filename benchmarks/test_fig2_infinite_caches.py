@@ -18,16 +18,15 @@ import pytest
 from repro.analysis import (figure_from_cluster_sweep, miss_breakdown,
                             render_miss_breakdown, render_rows)
 from repro.apps.registry import APP_NAMES
-from repro.core.study import ClusteringStudy
 
-from _support import app_kwargs, machine
+from _support import study as make_study
 
 CLUSTERS = (1, 2, 4, 8)
 
 
 @pytest.mark.parametrize("app", APP_NAMES)
 def test_fig2(benchmark, emit, app):
-    study = ClusteringStudy(app, machine(), app_kwargs(app))
+    study = make_study(app)
 
     def run():
         return study.cluster_sweep(None, CLUSTERS)

@@ -12,7 +12,7 @@ import pytest
 from repro.analysis import figure_from_cluster_sweep, render_rows
 from repro.core.study import ClusteringStudy
 
-from _support import app_kwargs, current_scale, machine
+from _support import app_kwargs, current_scale, executor, machine
 
 
 def test_fig3_ocean_small(benchmark, emit):
@@ -20,7 +20,7 @@ def test_fig3_ocean_small(benchmark, emit):
     kwargs = app_kwargs("ocean")
     kwargs["n"] = 32 if current_scale() == "quick" else 64  # "66x66" grid
     clusters = list((1, 2, 4, 8)) + [config.n_processors]  # + 'inf' bar
-    study = ClusteringStudy("ocean", config, kwargs)
+    study = ClusteringStudy("ocean", config, kwargs, executor=executor())
 
     def run():
         return study.cluster_sweep(None, clusters)

@@ -4,6 +4,8 @@ from .export import (figure_to_csv, figure_to_json, figure_to_records,
                      sweep_to_csv, sweep_to_records)
 from .figures import (Bar, BarGroup, FigureData, figure_from_capacity_sweep,
                       figure_from_cluster_sweep, render_ascii, render_rows)
+from .golden import (compare_figures, load_figure, max_deviation,
+                     parse_cost_table, parse_rows)
 from .missclass import (MissBreakdownRow, merge_anatomy, miss_breakdown,
                         render_miss_breakdown)
 from .tables import (render_comparison, render_cost_table, render_table1,
@@ -19,4 +21,6 @@ __all__ = [
     "render_comparison",
     "figure_to_records", "figure_to_csv", "figure_to_json",
     "sweep_to_records", "sweep_to_csv",
+    "parse_rows", "load_figure", "parse_cost_table", "compare_figures",
+    "max_deviation",
 ]

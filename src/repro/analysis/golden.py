@@ -1,0 +1,154 @@
+"""Golden-artifact support: parse rendered figure/table text back to data.
+
+The benchmark harness writes every reproduced artifact as the paper-format
+text of :func:`~repro.analysis.figures.render_rows` (figures) and the cost
+tables (Tables 6/7).  This module inverts those renderings so recorded
+artifacts — the seed outputs under ``benchmarks/results/`` and the quick
+fixtures under ``tests/golden/`` — can serve as *golden files*: a fast
+regression test re-runs a configuration and checks the fresh bars against
+the recorded ones within a tolerance, guarding the reproduction against
+silent drift from future refactors.
+
+* :func:`parse_rows` / :func:`load_figure` — inverse of ``render_rows``;
+* :func:`parse_cost_table` — inverse of ``render_cost_table``'s first block;
+* :func:`compare_figures` — bar-by-bar deviations between two figures.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .figures import Bar, BarGroup, FigureData
+
+__all__ = ["parse_rows", "load_figure", "parse_cost_table",
+           "compare_figures", "max_deviation"]
+
+#: a bar label as emitted by the figure builders: "1p", "8p", "64p"
+_BAR_LABEL = re.compile(r"^\d+p$")
+
+_FLOAT = re.compile(r"^-?\d+(?:\.\d+)?$")
+
+
+def _is_float(token: str) -> bool:
+    return bool(_FLOAT.match(token))
+
+
+def parse_rows(text: str) -> FigureData:
+    """Parse :func:`~repro.analysis.figures.render_rows` output.
+
+    Tolerates trailing sections (miss decompositions, timing lines): row
+    parsing stops at the first line that is not a bar row.  Raises
+    ``ValueError`` if no bar rows are found.
+    """
+    lines = text.splitlines()
+    if not lines:
+        raise ValueError("empty figure text")
+    title = lines[0].strip()
+    fig = FigureData(title=title)
+    groups: dict[str, BarGroup] = {}
+    in_rows = False
+    for line in lines[1:]:
+        stripped = line.strip()
+        if not in_rows:
+            in_rows = stripped.startswith("---")
+            continue
+        tokens = stripped.split()
+        # bar rows: [group] bar total cpu load merge sync
+        if len(tokens) == 6 and _BAR_LABEL.match(tokens[0]):
+            group_label, bar_tokens = "", tokens
+        elif len(tokens) == 7 and _BAR_LABEL.match(tokens[1]):
+            group_label, bar_tokens = tokens[0], tokens[1:]
+        else:
+            break
+        if not all(_is_float(t) for t in bar_tokens[1:]):
+            break
+        total, cpu, load, merge, sync = (float(t) for t in bar_tokens[1:])
+        bar = Bar(label=bar_tokens[0], cpu=cpu, load=load, merge=merge,
+                  sync=sync)
+        if abs(bar.total - total) > 0.25:  # rendered at 0.1 resolution
+            raise ValueError(
+                f"inconsistent row in {title!r}: components sum to "
+                f"{bar.total:.2f} but total column says {total:.1f}")
+        if group_label not in groups:
+            groups[group_label] = BarGroup(label=group_label)
+            fig.groups.append(groups[group_label])
+        groups[group_label].bars.append(bar)
+    if not fig.groups:
+        raise ValueError(f"no bar rows found under title {title!r}")
+    return fig
+
+
+def load_figure(path: str | Path) -> FigureData:
+    """Parse a rendered-figure text file (e.g. ``benchmarks/results``)."""
+    return parse_rows(Path(path).read_text(encoding="utf-8"))
+
+
+def parse_cost_table(text: str) -> dict[str, dict[str, float]]:
+    """Parse the first block of a rendered Table 6/7.
+
+    Returns ``{application: {column header: relative time}}`` — e.g.
+    ``{"barnes": {"1-way": 1.0, "2-way": 0.78, ...}}``.
+    """
+    lines = [ln.strip() for ln in text.splitlines() if ln.strip()]
+    header: list[str] | None = None
+    out: dict[str, dict[str, float]] = {}
+    for line in lines:
+        tokens = line.split()
+        if header is None:
+            if len(tokens) > 1 and all("-way" in t for t in tokens[1:]):
+                header = tokens[1:]
+            continue
+        if line.startswith("---"):
+            continue
+        if len(tokens) == len(header) + 1 and \
+                all(_is_float(t) for t in tokens[1:]):
+            out[tokens[0]] = {col: float(v)
+                              for col, v in zip(header, tokens[1:])}
+        else:
+            break  # end of the first block ("Paper vs measured" follows)
+    if not out:
+        raise ValueError("no cost-table rows found")
+    return out
+
+
+def compare_figures(actual: FigureData, expected: FigureData,
+                    tolerance: float = 0.15,
+                    ) -> list[tuple[str, str, str, float, float]]:
+    """Bar-by-bar deviations beyond ``tolerance`` percentage points.
+
+    Returns ``(group, bar, component, actual, expected)`` tuples for every
+    component (plus the stacked total) that moved more than ``tolerance``.
+    The default of 0.15 only allows for the 0.1-resolution rounding of the
+    rendered text: the simulator is deterministic, so a genuine change in
+    behaviour — not noise — is the only thing that can move a bar.
+    """
+    deviations: list[tuple[str, str, str, float, float]] = []
+    if len(actual.groups) != len(expected.groups):
+        raise ValueError(
+            f"figure shape changed: {len(actual.groups)} groups vs "
+            f"{len(expected.groups)} expected")
+    for got_g, exp_g in zip(actual.groups, expected.groups):
+        if len(got_g.bars) != len(exp_g.bars):
+            raise ValueError(
+                f"group {exp_g.label!r} changed: {len(got_g.bars)} bars vs "
+                f"{len(exp_g.bars)} expected")
+        for got, exp in zip(got_g.bars, exp_g.bars):
+            for comp in ("cpu", "load", "merge", "sync", "total"):
+                a = got.total if comp == "total" else got.component(comp)
+                e = exp.total if comp == "total" else exp.component(comp)
+                if abs(a - e) > tolerance:
+                    deviations.append((exp_g.label, exp.label, comp, a, e))
+    return deviations
+
+
+def max_deviation(actual: FigureData, expected: FigureData) -> float:
+    """Largest absolute component/total difference between two figures."""
+    worst = 0.0
+    for got_g, exp_g in zip(actual.groups, expected.groups):
+        for got, exp in zip(got_g.bars, exp_g.bars):
+            for comp in ("cpu", "load", "merge", "sync"):
+                worst = max(worst,
+                            abs(got.component(comp) - exp.component(comp)))
+            worst = max(worst, abs(got.total - exp.total))
+    return worst

@@ -14,6 +14,16 @@ Examples::
 ``--quick`` shrinks problem sizes (~10× fewer cycles) for sanity runs;
 ``--paper-scale`` selects the paper's Table 2 sizes.  Everything prints the
 paper-format numeric tables plus an ASCII rendering of the figures.
+
+Execution control (see ``docs/EXECUTION.md``):
+
+* ``--jobs N`` fans the sweep grid out over ``N`` worker processes
+  (results are byte-identical to the serial run — the simulator is
+  deterministic);
+* finished points are memoized in a persistent on-disk cache
+  (``~/.cache/repro-clustering`` or ``$REPRO_CACHE_DIR``); a repeated
+  command is served from cache.  ``--no-cache`` bypasses it,
+  ``--cache-dir`` relocates it.  Hit/miss counts are logged to stderr.
 """
 
 from __future__ import annotations
@@ -32,6 +42,8 @@ from .core.config import (PAPER_CACHE_SIZES_KB, PAPER_CLUSTER_SIZES,
                           MachineConfig)
 from .core.contention import (PAPER_TABLE5, ExpansionTable,
                               LoadLatencyProfiler, SharedCacheCostModel)
+from .core.executor import SweepExecutionError, SweepExecutor
+from .core.resultcache import ResultCache
 from .core.study import ClusteringStudy
 from .core.workingset import knee_of, working_set_curve
 from .sim.stats import summarize
@@ -68,6 +80,25 @@ def _base_config(args: argparse.Namespace) -> MachineConfig:
     return MachineConfig(n_processors=args.processors)
 
 
+def _executor(args: argparse.Namespace) -> SweepExecutor:
+    """One executor per invocation, built from the global flags."""
+    executor = getattr(args, "_executor", None)
+    if executor is None:
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        jobs = args.jobs or 1
+        executor = SweepExecutor(
+            backend="process" if jobs > 1 else "serial",
+            max_workers=jobs if jobs > 1 else None,
+            timeout=args.timeout, cache=cache)
+        args._executor = executor
+    return executor
+
+
+def _study(app: str, args: argparse.Namespace) -> ClusteringStudy:
+    return ClusteringStudy(app, _base_config(args), _app_kwargs(app, args),
+                           executor=_executor(args))
+
+
 def _cache_arg(value: str) -> float | None:
     return None if value in ("inf", "none") else float(value)
 
@@ -80,11 +111,17 @@ def _int_list(value: str) -> list[int]:
     return [int(v) for v in value.split(",") if v]
 
 
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     config = _base_config(args).with_clusters(args.clusters).with_cache_kb(
         _cache_arg(args.cache))
-    study = ClusteringStudy(args.app, _base_config(args),
-                            _app_kwargs(args.app, args))
+    study = _study(args.app, args)
     t0 = time.time()
     point = study.run_point(args.clusters, _cache_arg(args.cache))
     print(f"# {args.app} on {config.describe()}  [{time.time() - t0:.1f}s]")
@@ -95,7 +132,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_fig2(args: argparse.Namespace) -> int:
     apps = args.apps or list(APP_NAMES)
     for app in apps:
-        study = ClusteringStudy(app, _base_config(args), _app_kwargs(app, args))
+        study = _study(app, args)
         t0 = time.time()
         sweep = study.cluster_sweep(None, args.cluster_sizes)
         fig = figure_from_cluster_sweep(
@@ -111,7 +148,8 @@ def cmd_fig2(args: argparse.Namespace) -> int:
 def cmd_fig3(args: argparse.Namespace) -> int:
     kwargs = _app_kwargs("ocean", args)
     kwargs.setdefault("n", 64)  # the paper's "smaller 66-by-66 grid"
-    study = ClusteringStudy("ocean", _base_config(args), kwargs)
+    study = ClusteringStudy("ocean", _base_config(args), kwargs,
+                            executor=_executor(args))
     sizes = list(args.cluster_sizes) + [args.processors]  # 'inf' bar
     sweep = study.cluster_sweep(None, sizes)
     fig = figure_from_cluster_sweep(
@@ -124,7 +162,7 @@ def cmd_fig3(args: argparse.Namespace) -> int:
 
 def cmd_capacity_figure(args: argparse.Namespace, fignum: int) -> int:
     app = CAPACITY_FIGURES[fignum]
-    study = ClusteringStudy(app, _base_config(args), _app_kwargs(app, args))
+    study = _study(app, args)
     t0 = time.time()
     sweep = study.capacity_sweep(args.cache_sizes, args.cluster_sizes)
     fig = figure_from_capacity_sweep(
@@ -171,7 +209,8 @@ def _cost_rows(apps: list[str], cache_kb: float | None,
     for app in apps:
         rows.append(model.evaluate(app, cache_kb, _base_config(args),
                                    args.cluster_sizes,
-                                   _app_kwargs(app, args)))
+                                   _app_kwargs(app, args),
+                                   executor=_executor(args)))
     return rows
 
 
@@ -198,7 +237,8 @@ def cmd_workingset(args: argparse.Namespace) -> int:
     curve = working_set_curve(args.app, sizes_kb=sizes,
                               cluster_size=args.clusters,
                               base_config=_base_config(args),
-                              app_kwargs=_app_kwargs(args.app, args))
+                              app_kwargs=_app_kwargs(args.app, args),
+                              executor=_executor(args))
     print(f"# working set of {args.app} (cluster size {args.clusters})")
     for label, rate, cap in curve.rows():
         print(f"{label:>8}  miss rate {rate:8.4f}  capacity misses {cap:>10,}")
@@ -261,8 +301,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_merge(args: argparse.Namespace) -> int:
-    study = ClusteringStudy(args.app, _base_config(args),
-                            _app_kwargs(args.app, args))
+    study = _study(args.app, args)
     sweep = study.cluster_sweep(_cache_arg(args.cache), args.cluster_sizes)
     print(f"# merge anatomy for {args.app} (cache {args.cache})")
     for c, row in merge_anatomy(sweep).items():
@@ -272,78 +311,113 @@ def cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_global_options(p: argparse.ArgumentParser, *,
+                        suppress: bool = False) -> None:
+    """The option set shared by the driver and every subcommand.
+
+    Added twice: to the main parser with real defaults, and to each
+    subparser with ``SUPPRESS`` defaults so ``fig2 --quick --jobs 4``
+    works as well as ``--quick --jobs 4 fig2`` without the subparser's
+    defaults clobbering values already parsed at the top level.
+    """
+    def dflt(value: Any) -> Any:
+        return argparse.SUPPRESS if suppress else value
+
+    p.add_argument("--processors", type=int, default=dflt(64),
+                   help="total processors (default 64, the paper's machine)")
+    p.add_argument("--quick", action="store_true", default=dflt(False),
+                   help="reduced problem sizes for fast sanity runs")
+    p.add_argument("--paper-scale", action="store_true", default=dflt(False),
+                   help="the paper's Table 2 problem sizes")
+    p.add_argument("--ascii", action="store_true", default=dflt(False),
+                   help="also draw ASCII bar charts")
+    p.add_argument("--jobs", type=_positive_int, default=dflt(1), metavar="N",
+                   help="evaluate sweep points in N worker processes "
+                   "(default 1 = serial; results are identical either way)")
+    p.add_argument("--timeout", type=float, default=dflt(None), metavar="SECS",
+                   help="per-point wall-clock limit (process backend only); "
+                   "a late point reports an error, the sweep continues")
+    p.add_argument("--no-cache", action="store_true", default=dflt(False),
+                   help="bypass the persistent result cache entirely "
+                   "(neither read nor write)")
+    p.add_argument("--cache-dir", default=dflt(None), metavar="DIR",
+                   help="result cache location (default $REPRO_CACHE_DIR "
+                   "or ~/.cache/repro-clustering)")
+    p.add_argument("--cluster-sizes", type=_int_list,
+                   default=dflt(list(PAPER_CLUSTER_SIZES)), metavar="N,N,...",
+                   help="comma-separated cluster sizes (default 1,2,4,8)")
+    p.add_argument("--cache-sizes", type=_cache_list,
+                   default=dflt(list(PAPER_CACHE_SIZES_KB)), metavar="KB,...",
+                   help="comma-separated per-processor cache sizes in KB "
+                   "('inf' allowed; default 4,16,32,inf)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro-clustering",
         description="Reproduce 'The Benefits of Clustering in Shared "
-        "Address Space Multiprocessors' (SC'95)")
-    p.add_argument("--processors", type=int, default=64,
-                   help="total processors (default 64, the paper's machine)")
-    p.add_argument("--quick", action="store_true",
-                   help="reduced problem sizes for fast sanity runs")
-    p.add_argument("--paper-scale", action="store_true",
-                   help="the paper's Table 2 problem sizes")
-    p.add_argument("--ascii", action="store_true",
-                   help="also draw ASCII bar charts")
-    p.add_argument("--cluster-sizes", type=_int_list,
-                   default=list(PAPER_CLUSTER_SIZES), metavar="N,N,...",
-                   help="comma-separated cluster sizes (default 1,2,4,8)")
-    p.add_argument("--cache-sizes", type=_cache_list,
-                   default=list(PAPER_CACHE_SIZES_KB), metavar="KB,...",
-                   help="comma-separated per-processor cache sizes in KB "
-                   "('inf' allowed; default 4,16,32,inf)")
+        "Address Space Multiprocessors' (SC'95)",
+        # no prefix abbreviation: subcommand flags like `run --cache` must
+        # not collide with global --cache-dir/--cache-sizes
+        allow_abbrev=False)
+    _add_global_options(p)
     sub = p.add_subparsers(dest="command", required=True)
 
-    sp = sub.add_parser("run", help="simulate one app on one configuration")
+    def add_command(name: str, **kwargs: Any) -> argparse.ArgumentParser:
+        sp = sub.add_parser(name, allow_abbrev=False, **kwargs)
+        _add_global_options(sp, suppress=True)
+        return sp
+
+    sp = add_command("run", help="simulate one app on one configuration")
     sp.add_argument("app", choices=APP_NAMES)
     sp.add_argument("--clusters", type=int, default=1)
     sp.add_argument("--cache", default="inf")
     sp.set_defaults(func=cmd_run)
 
-    sp = sub.add_parser("fig2", help="infinite-cache cluster sweeps")
+    sp = add_command("fig2", help="infinite-cache cluster sweeps")
     sp.add_argument("--apps", nargs="+", choices=APP_NAMES)
     sp.set_defaults(func=cmd_fig2)
 
-    sp = sub.add_parser("fig3", help="Ocean small problem, infinite cache")
+    sp = add_command("fig3", help="Ocean small problem, infinite cache")
     sp.set_defaults(func=cmd_fig3)
 
     for num, app in CAPACITY_FIGURES.items():
-        sp = sub.add_parser(f"fig{num}",
+        sp = add_command(f"fig{num}",
                             help=f"finite capacity effects for {app}")
         sp.set_defaults(func=lambda a, n=num: cmd_capacity_figure(a, n))
 
     for num, fn in ((1, cmd_table1), (4, cmd_table4)):
-        sp = sub.add_parser(f"table{num}")
+        sp = add_command(f"table{num}")
         sp.set_defaults(func=fn)
 
-    sp = sub.add_parser("table5", help="load-latency expansion factors")
+    sp = add_command("table5", help="load-latency expansion factors")
     sp.add_argument("--measure", action="store_true",
                     help="also measure factors on this engine (slow)")
     sp.set_defaults(func=cmd_table5)
 
-    sp = sub.add_parser("table6", help="4KB caches + shared-cache costs")
+    sp = add_command("table6", help="4KB caches + shared-cache costs")
     sp.set_defaults(func=cmd_table6)
-    sp = sub.add_parser("table7", help="infinite caches + shared-cache costs")
+    sp = add_command("table7", help="infinite caches + shared-cache costs")
     sp.set_defaults(func=cmd_table7)
 
-    sp = sub.add_parser("workingset", help="miss rate vs cache size")
+    sp = add_command("workingset", help="miss rate vs cache size")
     sp.add_argument("app", choices=APP_NAMES)
     sp.add_argument("--clusters", type=int, default=1)
     sp.set_defaults(func=cmd_workingset)
 
-    sp = sub.add_parser("merge", help="load-vs-merge anatomy per cluster size")
+    sp = add_command("merge", help="load-vs-merge anatomy per cluster size")
     sp.add_argument("app", choices=APP_NAMES)
     sp.add_argument("--cache", default="inf")
     sp.set_defaults(func=cmd_merge)
 
-    sp = sub.add_parser("compare",
+    sp = add_command("compare",
                         help="shared-cache vs snoopy shared-memory cluster")
     sp.add_argument("app", choices=APP_NAMES)
     sp.add_argument("--clusters", type=int, default=4)
     sp.add_argument("--cache", default="4")
     sp.set_defaults(func=cmd_compare)
 
-    sp = sub.add_parser("trace", help="record a reference trace")
+    sp = add_command("trace", help="record a reference trace")
     sp.add_argument("app", choices=APP_NAMES)
     sp.add_argument("--clusters", type=int, default=1)
     sp.add_argument("--cache", default="inf")
@@ -354,7 +428,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        rc = args.func(args)
+    except SweepExecutionError as exc:
+        print(f"repro-clustering: {exc}", file=sys.stderr)
+        rc = 1
+    executor = getattr(args, "_executor", None)
+    if executor is not None and executor.cache is not None:
+        cache = executor.cache
+        print(f"[result cache: {cache.stats()} — {cache.directory}]",
+              file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,5 +1,6 @@
 """Core of the clustering study: machine configuration, metrics, sweeps,
-contention cost model, and working-set profiling."""
+parallel execution with result caching, contention cost model, and
+working-set profiling."""
 
 from .config import (PAPER_CACHE_SIZES_KB, PAPER_CLUSTER_SIZES, LatencyModel,
                      MachineConfig)
@@ -11,6 +12,8 @@ __all__ = [
     "PAPER_CLUSTER_SIZES", "PAPER_CACHE_SIZES_KB",
     "MissKind", "MissCause", "MissCounters", "TimeBreakdown", "RunResult",
     "ClusteringStudy", "SweepPoint", "normalize_sweep", "cache_label",
+    "SweepExecutor", "PointSpec", "PointOutcome", "SweepExecutionError",
+    "ResultCache",
     "SharedCacheCostModel", "LoadLatencyProfiler", "ExpansionTable",
     "bank_conflict_probability", "banks_for_cluster", "conflict_table",
     "PAPER_TABLE5",
@@ -22,6 +25,9 @@ __all__ = [
 from .contention import (PAPER_TABLE5, ExpansionTable, LoadLatencyProfiler,
                          SharedCacheCostModel, bank_conflict_probability,
                          banks_for_cluster, conflict_table)
+from .executor import (PointOutcome, PointSpec, SweepExecutionError,
+                       SweepExecutor)
+from .resultcache import ResultCache
 from .scaling import (ScalingCurve, ScalingPoint, effective_processors,
                       pushout, scaling_curve)
 from .study import ClusteringStudy, SweepPoint, cache_label, normalize_sweep

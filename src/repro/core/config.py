@@ -106,6 +106,17 @@ class LatencyModel:
             return self.remote_clean
         return self.remote_dirty_third_party
 
+    def to_dict(self) -> dict:
+        """JSON-stable representation (used in result-cache keys)."""
+        return {
+            "local_clean": self.local_clean,
+            "local_dirty_remote": self.local_dirty_remote,
+            "remote_clean": self.remote_clean,
+            "remote_dirty_third_party": self.remote_dirty_third_party,
+            "hit_by_cluster_size": [list(pair)
+                                    for pair in self.hit_by_cluster_size],
+        }
+
 
 @dataclass(frozen=True)
 class MachineConfig:
@@ -200,6 +211,24 @@ class MachineConfig:
     def with_associativity(self, associativity: int | None) -> "MachineConfig":
         """Copy of this config with a different cache associativity."""
         return replace(self, associativity=associativity)
+
+    def to_dict(self) -> dict:
+        """JSON-stable representation of the *complete* machine description.
+
+        Every field that can change a simulation outcome appears here; the
+        persistent result cache hashes this dict, so two configs with equal
+        ``to_dict()`` are guaranteed interchangeable and any field change
+        produces a different cache key.
+        """
+        return {
+            "n_processors": self.n_processors,
+            "cluster_size": self.cluster_size,
+            "cache_kb_per_processor": self.cache_kb_per_processor,
+            "associativity": self.associativity,
+            "line_size": self.line_size,
+            "page_size": self.page_size,
+            "latency": self.latency.to_dict(),
+        }
 
     def describe(self) -> str:
         """One-line human-readable summary."""

@@ -45,6 +45,7 @@ from typing import Any, Iterable, Mapping
 from ..apps.registry import build_app
 from ..sim.engine import Engine, PerfectMemory
 from .config import PAPER_CLUSTER_SIZES, MachineConfig
+from .executor import SweepExecutor
 from .study import CacheKey, ClusteringStudy
 
 __all__ = [
@@ -215,10 +216,15 @@ class SharedCacheCostModel:
                  base_config: MachineConfig | None = None,
                  cluster_sizes: Iterable[int] = PAPER_CLUSTER_SIZES,
                  app_kwargs: dict[str, Any] | None = None,
+                 executor: "SweepExecutor | None" = None,
                  ) -> ClusteredCostResult:
-        """Simulate a cluster sweep and apply the cost factors (Table 6/7)."""
+        """Simulate a cluster sweep and apply the cost factors (Table 6/7).
+
+        ``executor`` (optional) parallelizes/memoizes the underlying sweep.
+        """
         base_config = base_config or MachineConfig()
-        study = ClusteringStudy(app, base_config, dict(app_kwargs or {}))
+        study = ClusteringStudy(app, base_config, dict(app_kwargs or {}),
+                                executor=executor)
         sweep = study.cluster_sweep(cache_kb, cluster_sizes)
         raw = {c: p.result.execution_time for c, p in sweep.items()}
         factors = {c: self.cost_factor(app, c, base_config) for c in raw}

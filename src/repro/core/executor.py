@@ -1,0 +1,315 @@
+"""Sweep execution engine: serial or multi-process, with result caching.
+
+Every figure and table of the paper is a grid of *fully independent*
+simulations, so the sweep harness — not the simulator — decides wall-clock
+time.  :class:`SweepExecutor` evaluates an iterable of
+:class:`PointSpec`\\ s (``(app, cluster_size, cache_kb, app_kwargs)``) with
+a pluggable backend:
+
+* ``serial``  — in-process, point after point (the default; identical to
+  the historical behaviour of :class:`~repro.core.study.ClusteringStudy`);
+* ``process`` — fan-out over a ``concurrent.futures.ProcessPoolExecutor``
+  with ``max_workers`` control and a per-point ``timeout``.
+
+Guarantees:
+
+* **Determinism** — the simulator is seeded and side-effect free, so both
+  backends produce byte-identical :class:`RunResult`\\ s for the same spec
+  (covered by ``tests/test_determinism.py``).
+* **Failure isolation** — one diverging or crashing point yields a
+  :class:`PointOutcome` carrying the error; the other points of the sweep
+  still complete.  Callers that want the historical fail-fast behaviour
+  raise :class:`SweepExecutionError` via :func:`raise_failures`.
+* **Transparent memoization** — with a
+  :class:`~repro.core.resultcache.ResultCache` attached, finished points
+  are served from disk and fresh points are written back, keyed by content
+  hash of (version, app, kwargs, full machine config).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from .config import MachineConfig
+from .metrics import RunResult
+from .resultcache import ResultCache
+
+__all__ = ["BACKENDS", "PointSpec", "PointOutcome", "SweepExecutor",
+           "SweepExecutionError", "as_point_spec", "evaluate_point",
+           "raise_failures"]
+
+#: the recognised execution backends
+BACKENDS = ("serial", "process")
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One sweep point: which app on which machine organisation.
+
+    ``app_kwargs`` is stored as a sorted tuple of items so specs are
+    hashable, order-insensitive, and cheap to pickle across processes.
+    Build instances with :meth:`make` (which accepts a plain dict).
+    """
+
+    app: str
+    cluster_size: int
+    cache_kb: float | int | None
+    app_kwargs: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, app: str, cluster_size: int, cache_kb: float | int | None,
+             app_kwargs: Mapping[str, Any] | None = None) -> "PointSpec":
+        return cls(app, int(cluster_size), cache_kb,
+                   tuple(sorted((app_kwargs or {}).items())))
+
+    @property
+    def kwargs(self) -> dict[str, Any]:
+        """The app kwargs as a plain dict."""
+        return dict(self.app_kwargs)
+
+    def config_for(self, base: MachineConfig) -> MachineConfig:
+        """The machine this point runs on, derived from a base template."""
+        return base.with_clusters(self.cluster_size).with_cache_kb(
+            None if self.cache_kb is None else float(self.cache_kb))
+
+    def describe(self) -> str:
+        cache = "inf" if self.cache_kb is None else f"{self.cache_kb:g}k"
+        kw = (", ".join(f"{k}={v}" for k, v in self.app_kwargs)
+              if self.app_kwargs else "defaults")
+        return (f"{self.app} @ {self.cluster_size}/cluster, cache {cache} "
+                f"({kw})")
+
+
+def as_point_spec(obj: Any) -> PointSpec:
+    """Coerce a :class:`PointSpec` or an ``(app, cluster, cache[, kwargs])``
+    tuple into a :class:`PointSpec`."""
+    if isinstance(obj, PointSpec):
+        return obj
+    if isinstance(obj, (tuple, list)) and len(obj) in (3, 4):
+        app, cluster_size, cache_kb = obj[0], obj[1], obj[2]
+        kwargs = obj[3] if len(obj) == 4 else None
+        return PointSpec.make(app, cluster_size, cache_kb, kwargs)
+    raise TypeError(
+        f"cannot interpret {obj!r} as a sweep point; expected PointSpec or "
+        f"(app, cluster_size, cache_kb[, app_kwargs])")
+
+
+@dataclass
+class PointOutcome:
+    """What happened to one dispatched point.
+
+    Exactly one of ``result`` / ``error`` is set.  ``cached`` marks results
+    served from the persistent cache; ``elapsed`` is the evaluation
+    wall-clock in seconds (0.0 for cache hits).
+    """
+
+    spec: PointSpec
+    result: RunResult | None = None
+    error: str | None = None
+    cached: bool = False
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class SweepExecutionError(RuntimeError):
+    """One or more sweep points failed; carries every failed outcome."""
+
+    def __init__(self, failures: Sequence[PointOutcome]) -> None:
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} sweep point(s) failed:"]
+        for f in self.failures:
+            first = (f.error or "").strip().splitlines()
+            lines.append(f"  - {f.spec.describe()}: "
+                         f"{first[-1] if first else 'unknown error'}")
+        super().__init__("\n".join(lines))
+
+
+def evaluate_point(spec: PointSpec, base_config: MachineConfig) -> RunResult:
+    """Run one point to completion (the process-pool worker function).
+
+    Builds a fresh application instance so every configuration solves the
+    identical, deterministically-seeded problem.
+    """
+    from ..apps.registry import build_app  # deferred: avoids import cycle
+
+    app = build_app(spec.app, spec.config_for(base_config), **spec.kwargs)
+    return app.run()
+
+
+def _evaluate_timed(spec: PointSpec,
+                    base_config: MachineConfig) -> tuple[RunResult, float]:
+    t0 = time.perf_counter()
+    result = evaluate_point(spec, base_config)
+    return result, time.perf_counter() - t0
+
+
+def raise_failures(outcomes: Iterable[PointOutcome]) -> None:
+    """Raise :class:`SweepExecutionError` if any outcome failed."""
+    failures = [o for o in outcomes if not o.ok]
+    if failures:
+        raise SweepExecutionError(failures)
+
+
+@dataclass
+class SweepExecutor:
+    """Evaluates sweep points with a configurable backend and cache.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` (default) or ``"process"``.
+    max_workers:
+        Process-pool width; ``None`` lets the pool pick (CPU count).
+        Ignored by the serial backend.
+    timeout:
+        Per-point wall-clock limit in seconds.  Enforced by the process
+        backend (a late point becomes an error outcome, the rest of the
+        sweep survives; its worker finishes the stale computation in the
+        background).  The serial backend cannot preempt a running
+        simulation and ignores it.
+    cache:
+        Optional :class:`ResultCache`.  ``None`` disables both reads and
+        writes (the CLI's ``--no-cache``).
+    """
+
+    backend: str = "serial"
+    max_workers: int | None = None
+    timeout: float | None = None
+    cache: ResultCache | None = field(default=None, repr=False)
+    # the process pool outlives individual run() calls: worker startup
+    # (interpreter + numpy import) costs ~1s, which would otherwise be
+    # paid again by every figure's sweep in a multi-figure command
+    _pool: ProcessPoolExecutor | None = field(default=None, init=False,
+                                              repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be positive or None")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive or None")
+
+    # ------------------------------------------------------------------ API
+    def run(self, specs: Iterable[Any],
+            base_config: MachineConfig | None = None) -> list[PointOutcome]:
+        """Evaluate every spec; outcomes come back in input order.
+
+        Cache hits are resolved up front; only misses are dispatched to the
+        backend.  A point that raises (or times out under the process
+        backend) produces an error outcome instead of aborting the sweep.
+        """
+        base = base_config or MachineConfig()
+        specs = [as_point_spec(s) for s in specs]
+        outcomes: list[PointOutcome | None] = [None] * len(specs)
+        keys: list[str | None] = [None] * len(specs)
+
+        pending: list[int] = []
+        for i, spec in enumerate(specs):
+            if self.cache is not None:
+                keys[i] = self.cache.key(spec.app, spec.kwargs,
+                                         spec.config_for(base))
+                hit = self.cache.get(keys[i])
+                if hit is not None:
+                    outcomes[i] = PointOutcome(spec, result=hit, cached=True)
+                    continue
+            pending.append(i)
+
+        if pending:
+            if self.backend == "process":
+                self._run_process(specs, pending, base, outcomes)
+            else:
+                self._run_serial(specs, pending, base, outcomes)
+
+        if self.cache is not None:
+            for i in pending:
+                out = outcomes[i]
+                if out is not None and out.ok and out.result is not None:
+                    self.cache.put(keys[i], out.result)
+        return [o for o in outcomes if o is not None]
+
+    def run_one(self, spec: Any,
+                base_config: MachineConfig | None = None) -> PointOutcome:
+        """Evaluate a single point (always serial, still cached)."""
+        base = base_config or MachineConfig()
+        spec = as_point_spec(spec)
+        key = None
+        if self.cache is not None:
+            key = self.cache.key(spec.app, spec.kwargs,
+                                 spec.config_for(base))
+            hit = self.cache.get(key)
+            if hit is not None:
+                return PointOutcome(spec, result=hit, cached=True)
+        outcome = self._evaluate_isolated(spec, base)
+        if key is not None and outcome.ok and outcome.result is not None:
+            self.cache.put(key, outcome.result)
+        return outcome
+
+    # ------------------------------------------------------------- backends
+    @staticmethod
+    def _evaluate_isolated(spec: PointSpec,
+                           base: MachineConfig) -> PointOutcome:
+        try:
+            result, elapsed = _evaluate_timed(spec, base)
+        except Exception:
+            return PointOutcome(spec, error=traceback.format_exc())
+        return PointOutcome(spec, result=result, elapsed=elapsed)
+
+    def _run_serial(self, specs: list[PointSpec], pending: list[int],
+                    base: MachineConfig,
+                    outcomes: list[PointOutcome | None]) -> None:
+        for i in pending:
+            outcomes[i] = self._evaluate_isolated(specs[i], base)
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; a later run reopens it)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _process_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def _run_process(self, specs: list[PointSpec], pending: list[int],
+                     base: MachineConfig,
+                     outcomes: list[PointOutcome | None]) -> None:
+        pool = self._process_pool()
+        futures = {i: pool.submit(_evaluate_timed, specs[i], base)
+                   for i in pending}
+        for i, future in futures.items():
+            try:
+                result, elapsed = future.result(timeout=self.timeout)
+            except _FuturesTimeout:
+                future.cancel()
+                outcomes[i] = PointOutcome(
+                    specs[i],
+                    error=f"timed out after {self.timeout:g}s")
+            except Exception as exc:
+                if isinstance(exc, BrokenProcessPool):
+                    # a dead worker poisons the pool; reopen it next run
+                    self.close()
+                outcomes[i] = PointOutcome(
+                    specs[i],
+                    error="".join(traceback.format_exception_only(
+                        type(exc), exc)).strip() or repr(exc))
+            else:
+                outcomes[i] = PointOutcome(specs[i], result=result,
+                                           elapsed=elapsed)

@@ -17,11 +17,25 @@ argument rests on (cold, coherence/communication, capacity — §2).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Any, Mapping
 
 __all__ = ["MissKind", "MissCause", "MissCounters", "TimeBreakdown",
            "RunResult"]
+
+
+def _num(value: Any) -> int | float:
+    """Validate a JSON number, preserving its exact type.
+
+    Breakdown components are ints per processor but *means* over processors
+    (floats) in :attr:`RunResult.breakdown`, so coercing to either int or
+    float would break byte-identical round-trips.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"expected a number, got {value!r}")
+    return value
 
 
 class MissKind(Enum):
@@ -94,6 +108,30 @@ class MissCounters:
         for cause, n in self.by_cause.items():
             other.by_cause[cause] += n
 
+    # ------------------------------------------------------- serialization
+    _INT_FIELDS = ("references", "reads", "writes", "hits", "read_misses",
+                   "write_misses", "upgrade_misses", "merges",
+                   "merge_refetches", "prefetch_hits")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON representation (cause keys become their strings)."""
+        out: dict[str, Any] = {f: getattr(self, f) for f in self._INT_FIELDS}
+        out["by_cause"] = {c.value: n for c, n in self.by_cause.items()}
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MissCounters":
+        """Inverse of :meth:`to_dict`; raises ``ValueError`` on bad shape."""
+        try:
+            kwargs = {f: _num(data[f]) for f in cls._INT_FIELDS}
+            by_cause = {MissCause(k): _num(n)
+                        for k, n in data["by_cause"].items()}
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ValueError(f"malformed MissCounters payload: {exc}") from exc
+        for cause in MissCause:  # absent causes count zero
+            by_cause.setdefault(cause, 0)
+        return cls(by_cause=by_cause, **kwargs)
+
 
 @dataclass
 class TimeBreakdown:
@@ -147,10 +185,29 @@ class TimeBreakdown:
         """
         if baseline_total <= 0:
             raise ValueError("baseline_total must be positive")
-        s = 100.0 / baseline_total
-        return {"cpu": self.cpu * s, "load": self.load * s,
-                "merge": self.merge * s, "sync": self.sync * s,
-                "total": self.total * s}
+
+        # multiply before dividing: 100.0 * t / t is exactly 100.0 for any
+        # integer t below 2**46, while t * (100.0 / t) need not be
+        def pct(value: float) -> float:
+            return 100.0 * value / baseline_total
+
+        return {"cpu": pct(self.cpu), "load": pct(self.load),
+                "merge": pct(self.merge), "sync": pct(self.sync),
+                "total": pct(self.total)}
+
+    # ------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, int]:
+        return {"cpu": self.cpu, "load": self.load, "merge": self.merge,
+                "sync": self.sync}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TimeBreakdown":
+        try:
+            return cls(cpu=_num(data["cpu"]), load=_num(data["load"]),
+                       merge=_num(data["merge"]), sync=_num(data["sync"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"malformed TimeBreakdown payload: {exc}") from exc
 
 
 @dataclass
@@ -181,3 +238,50 @@ class RunResult:
     @property
     def n_processors(self) -> int:
         return len(self.per_processor)
+
+    # ------------------------------------------------------- serialization
+    # The JSON form is the persistent-result-cache storage format and the
+    # determinism-test comparison format: ``to_json`` is canonical (sorted
+    # keys, fixed separators), so byte-equal JSON ⟺ equal results.
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "execution_time": self.execution_time,
+            "breakdown": self.breakdown.to_dict(),
+            "per_processor": [b.to_dict() for b in self.per_processor],
+            "misses": self.misses.to_dict(),
+            "per_cluster_misses": [m.to_dict()
+                                   for m in self.per_cluster_misses],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        try:
+            return cls(
+                execution_time=_num(data["execution_time"]),
+                breakdown=TimeBreakdown.from_dict(data["breakdown"]),
+                per_processor=[TimeBreakdown.from_dict(d)
+                               for d in data["per_processor"]],
+                misses=MissCounters.from_dict(data["misses"]),
+                per_cluster_misses=[MissCounters.from_dict(d)
+                                    for d in data["per_cluster_misses"]],
+            )
+        except ValueError:
+            raise
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed RunResult payload: {exc}") from exc
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Canonical JSON encoding (round-trips via :meth:`from_json`)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":") if indent is None else None,
+                          indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed RunResult JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ValueError("malformed RunResult JSON: not an object")
+        return cls.from_dict(data)

@@ -14,6 +14,11 @@ This module is the experimental harness behind every figure of the paper:
 Every point builds a **fresh application instance** (applications carry
 their numerical state) with the same seed, so all configurations solve the
 identical problem.
+
+Execution is delegated to a :class:`~repro.core.executor.SweepExecutor`:
+attach one to parallelize a sweep over processes and/or reuse finished
+points from the persistent result cache.  Without one, a default serial,
+uncached executor reproduces the historical behaviour exactly.
 """
 
 from __future__ import annotations
@@ -21,8 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
-from ..apps.registry import build_app
 from .config import (PAPER_CACHE_SIZES_KB, PAPER_CLUSTER_SIZES, MachineConfig)
+from .executor import PointSpec, SweepExecutor, raise_failures
 from .metrics import RunResult
 
 __all__ = ["SweepPoint", "ClusteringStudy", "normalize_sweep",
@@ -64,34 +69,57 @@ class ClusteringStudy:
         point.  Defaults to the paper's 64-processor machine.
     app_kwargs:
         Problem-size overrides forwarded to the application constructor.
+    executor:
+        Evaluation engine for the sweep points.  ``None`` means a fresh
+        serial, uncached :class:`SweepExecutor` — the original in-process
+        behaviour.  A ``process``-backend executor fans the grid out over
+        cores; an attached result cache memoizes finished points.  Failed
+        points raise :class:`~repro.core.executor.SweepExecutionError`.
     """
 
     app: str
     base_config: MachineConfig = field(default_factory=MachineConfig)
     app_kwargs: dict[str, Any] = field(default_factory=dict)
+    executor: SweepExecutor | None = None
+
+    def _executor(self) -> SweepExecutor:
+        return self.executor if self.executor is not None else SweepExecutor()
+
+    def _spec(self, cluster_size: int, cache_kb: CacheKey) -> PointSpec:
+        return PointSpec.make(self.app, cluster_size, cache_kb,
+                              self.app_kwargs)
 
     def run_point(self, cluster_size: int, cache_kb: CacheKey) -> SweepPoint:
         """Simulate one (cluster size, cache size) configuration."""
-        config = self.base_config.with_clusters(cluster_size).with_cache_kb(
-            None if cache_kb is None else float(cache_kb))
-        application = build_app(self.app, config, **self.app_kwargs)
-        return SweepPoint(self.app, cluster_size, cache_kb, application.run())
+        outcome = self._executor().run_one(self._spec(cluster_size, cache_kb),
+                                           self.base_config)
+        raise_failures([outcome])
+        return SweepPoint(self.app, cluster_size, cache_kb, outcome.result)
+
+    def _run_grid(self, grid: list[tuple[Any, PointSpec]]) -> list[RunResult]:
+        outcomes = self._executor().run([spec for _, spec in grid],
+                                        self.base_config)
+        raise_failures(outcomes)
+        return [o.result for o in outcomes]
 
     def cluster_sweep(self, cache_kb: CacheKey = None,
                       cluster_sizes: Iterable[int] = PAPER_CLUSTER_SIZES,
                       ) -> dict[int, SweepPoint]:
         """Vary processors-per-cluster at one cache size (Figure 2/3 axis)."""
-        return {c: self.run_point(c, cache_kb) for c in cluster_sizes}
+        grid = [(c, self._spec(c, cache_kb)) for c in cluster_sizes]
+        results = self._run_grid(grid)
+        return {c: SweepPoint(self.app, c, cache_kb, r)
+                for (c, _), r in zip(grid, results)}
 
     def capacity_sweep(self, cache_sizes: Iterable[CacheKey] = PAPER_CACHE_SIZES_KB,
                        cluster_sizes: Iterable[int] = PAPER_CLUSTER_SIZES,
                        ) -> dict[tuple[CacheKey, int], SweepPoint]:
         """The cache-size × cluster-size grid of Figures 4-8."""
-        out: dict[tuple[CacheKey, int], SweepPoint] = {}
-        for kb in cache_sizes:
-            for c in cluster_sizes:
-                out[(kb, c)] = self.run_point(c, kb)
-        return out
+        grid = [((kb, c), self._spec(c, kb))
+                for kb in cache_sizes for c in cluster_sizes]
+        results = self._run_grid(grid)
+        return {(kb, c): SweepPoint(self.app, c, kb, r)
+                for ((kb, c), _), r in zip(grid, results)}
 
 
 def normalize_sweep(points: Mapping[tuple[CacheKey, int], SweepPoint] |

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from .config import MachineConfig
+from .executor import SweepExecutor
 from .study import CacheKey, ClusteringStudy
 
 __all__ = ["WorkingSetPoint", "WorkingSetCurve", "working_set_curve",
@@ -72,15 +73,22 @@ def working_set_curve(app: str,
                       cluster_size: int = 1,
                       base_config: MachineConfig | None = None,
                       app_kwargs: dict[str, Any] | None = None,
+                      executor: "SweepExecutor | None" = None,
                       ) -> WorkingSetCurve:
-    """Measure the miss-rate-vs-cache-size curve of one application."""
+    """Measure the miss-rate-vs-cache-size curve of one application.
+
+    ``executor`` (optional) evaluates the probe sizes in parallel and/or
+    serves them from the persistent result cache.
+    """
     from .metrics import MissCause
 
     study = ClusteringStudy(app, base_config or MachineConfig(),
-                            dict(app_kwargs or {}))
+                            dict(app_kwargs or {}), executor=executor)
+    sweep = study.capacity_sweep(cache_sizes=list(sizes_kb),
+                                 cluster_sizes=(cluster_size,))
     curve = WorkingSetCurve(app, cluster_size)
     for kb in sizes_kb:
-        point = study.run_point(cluster_size, kb)
+        point = sweep[(kb, cluster_size)]
         m = point.result.misses
         curve.points.append(WorkingSetPoint(
             cache_kb=kb,
@@ -113,6 +121,7 @@ def overlap_benefit(app: str, cache_kb: float,
                     cluster_sizes: Iterable[int] = (1, 2, 4, 8),
                     base_config: MachineConfig | None = None,
                     app_kwargs: dict[str, Any] | None = None,
+                    executor: "SweepExecutor | None" = None,
                     ) -> dict[int, float]:
     """Capacity misses per processor vs cluster size at fixed per-proc cache.
 
@@ -123,11 +132,13 @@ def overlap_benefit(app: str, cache_kb: float,
     from .metrics import MissCause
 
     study = ClusteringStudy(app, base_config or MachineConfig(),
-                            dict(app_kwargs or {}))
+                            dict(app_kwargs or {}), executor=executor)
+    cluster_sizes = list(cluster_sizes)
+    sweep = study.cluster_sweep(cache_kb, cluster_sizes)
     out: dict[int, float] = {}
     baseline: float | None = None
     for c in cluster_sizes:
-        point = study.run_point(c, cache_kb)
+        point = sweep[c]
         cap = point.result.misses.by_cause[MissCause.CAPACITY]
         if baseline is None:
             baseline = float(cap) if cap else 1.0

@@ -5,6 +5,16 @@ import pytest
 from repro.core.config import MachineConfig
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the persistent result cache at a per-test directory.
+
+    Keeps the suite hermetic: no test reads results memoized by an earlier
+    run (or an earlier test), and nothing is written to ``~/.cache``.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def cfg4() -> MachineConfig:
     """4 processors in 2-way clusters, 4 KB/processor caches."""

@@ -1,0 +1,163 @@
+"""SweepExecutor behaviour: spec coercion, backends, failure isolation."""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.executor import (BACKENDS, PointOutcome, PointSpec,
+                                 SweepExecutionError, SweepExecutor,
+                                 as_point_spec, raise_failures)
+from repro.core.study import ClusteringStudy
+
+CFG = MachineConfig(n_processors=8)
+OCEAN_KW = {"n": 16, "n_vcycles": 1}
+
+
+class TestPointSpec:
+    def test_make_sorts_kwargs(self):
+        a = PointSpec.make("ocean", 2, 4, {"b": 1, "a": 2})
+        b = PointSpec.make("ocean", 2, 4, {"a": 2, "b": 1})
+        assert a == b
+        assert a.kwargs == {"a": 2, "b": 1}
+
+    def test_specs_are_hashable(self):
+        assert len({PointSpec.make("lu", 1, None, {"n": 32}),
+                    PointSpec.make("lu", 1, None, {"n": 32})}) == 1
+
+    def test_config_for_applies_cluster_and_cache(self):
+        spec = PointSpec.make("ocean", 4, 16, {})
+        cfg = spec.config_for(CFG)
+        assert cfg.cluster_size == 4
+        assert cfg.cache_kb_per_processor == 16.0
+        spec_inf = PointSpec.make("ocean", 2, None, {})
+        assert spec_inf.config_for(CFG).cache_kb_per_processor is None
+
+    def test_coercion_from_tuples(self):
+        assert as_point_spec(("ocean", 2, 4)) == \
+            PointSpec.make("ocean", 2, 4, {})
+        assert as_point_spec(["ocean", 2, None, {"n": 16}]) == \
+            PointSpec.make("ocean", 2, None, {"n": 16})
+        spec = PointSpec.make("lu", 1, None, {})
+        assert as_point_spec(spec) is spec
+
+    def test_coercion_rejects_junk(self):
+        with pytest.raises(TypeError, match="sweep point"):
+            as_point_spec("ocean")
+        with pytest.raises(TypeError):
+            as_point_spec(("ocean", 2))
+
+    def test_describe_mentions_everything(self):
+        text = PointSpec.make("ocean", 4, None, {"n": 16}).describe()
+        assert "ocean" in text and "4" in text and "inf" in text \
+            and "n=16" in text
+
+
+class TestConstruction:
+    def test_backends_constant(self):
+        assert set(BACKENDS) == {"serial", "process"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            SweepExecutor(backend="threads")
+
+    def test_bad_max_workers_rejected(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            SweepExecutor(max_workers=0)
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            SweepExecutor(timeout=-1.0)
+
+
+class TestFailureIsolation:
+    """One bad point must not take down the sweep."""
+
+    def test_unknown_app_is_isolated_serial(self):
+        specs = [("ocean", 1, None, OCEAN_KW),
+                 ("notanapp", 1, None, {}),
+                 ("ocean", 2, None, OCEAN_KW)]
+        outcomes = SweepExecutor().run(specs, CFG)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert "notanapp" in outcomes[1].error
+        assert outcomes[1].result is None
+
+    def test_unknown_app_is_isolated_process(self):
+        specs = [("ocean", 1, None, OCEAN_KW), ("notanapp", 1, None, {})]
+        outcomes = SweepExecutor(backend="process", max_workers=2).run(
+            specs, CFG)
+        assert [o.ok for o in outcomes] == [True, False]
+        assert "notanapp" in outcomes[1].error
+
+    def test_bad_kwargs_are_isolated(self):
+        outcomes = SweepExecutor().run(
+            [("ocean", 1, None, {"no_such_knob": 3})], CFG)
+        assert not outcomes[0].ok
+
+    def test_raise_failures_collects_all(self):
+        bad = PointOutcome(PointSpec.make("x", 1, None, {}), error="boom")
+        good = PointOutcome(PointSpec.make("y", 1, None, {}),
+                            result=object())
+        with pytest.raises(SweepExecutionError) as exc:
+            raise_failures([good, bad, bad])
+        assert len(exc.value.failures) == 2
+        assert "boom" in str(exc.value)
+
+    def test_raise_failures_quiet_when_clean(self):
+        good = PointOutcome(PointSpec.make("y", 1, None, {}),
+                            result=object())
+        raise_failures([good])  # no exception
+
+    def test_study_raises_on_failed_point(self):
+        study = ClusteringStudy("ocean", CFG, {"no_such_knob": 1})
+        with pytest.raises(SweepExecutionError):
+            study.run_point(1, None)
+
+    def test_timeout_reports_error_not_crash(self):
+        """A point exceeding the per-point budget becomes an error outcome."""
+        slow = ("ocean", 1, None, {"n": 32, "n_vcycles": 2})
+        executor = SweepExecutor(backend="process", max_workers=1,
+                                 timeout=1e-4)
+        outcomes = executor.run([slow], CFG)
+        assert not outcomes[0].ok
+        assert "timed out" in outcomes[0].error
+
+
+class TestPoolLifecycle:
+    def test_pool_is_reused_across_runs(self):
+        with SweepExecutor(backend="process", max_workers=2) as executor:
+            first = executor.run([("ocean", 1, None, OCEAN_KW)], CFG)
+            pool = executor._pool
+            second = executor.run([("ocean", 2, None, OCEAN_KW)], CFG)
+            assert executor._pool is pool
+        assert executor._pool is None  # context exit closed it
+        assert first[0].ok and second[0].ok
+
+    def test_close_is_idempotent_and_pool_reopens(self):
+        executor = SweepExecutor(backend="process", max_workers=1)
+        executor.close()
+        executor.close()
+        outcome = executor.run([("ocean", 1, None, OCEAN_KW)], CFG)[0]
+        assert outcome.ok
+        executor.close()
+        assert executor._pool is None
+
+
+class TestResults:
+    def test_elapsed_recorded(self):
+        outcome = SweepExecutor().run([("ocean", 1, None, OCEAN_KW)], CFG)[0]
+        assert outcome.ok and outcome.elapsed > 0.0 and not outcome.cached
+
+    def test_default_base_config_is_paper_machine(self):
+        outcome = SweepExecutor().run_one(("lu", 1, None, {"n": 16,
+                                                           "block": 4}))
+        assert outcome.ok
+        assert outcome.result.n_processors == 64
+
+    def test_study_sweeps_match_previous_api(self):
+        """The executor-backed sweeps keep the historical dict shapes."""
+        study = ClusteringStudy("ocean", CFG, dict(OCEAN_KW))
+        cluster = study.cluster_sweep(None, (1, 2))
+        assert set(cluster) == {1, 2}
+        assert cluster[2].cluster_size == 2
+        capacity = study.capacity_sweep((1, None), (1, 2))
+        assert set(capacity) == {(1, 1), (1, 2), (None, 1), (None, 2)}
+        assert capacity[(1, 2)].cache_kb == 1

@@ -1,0 +1,123 @@
+"""Golden regression tests: recorded artifacts vs fresh re-runs.
+
+Two layers of protection against drift from future refactors:
+
+* the seed artifacts under ``benchmarks/results/`` (full-scale, slow to
+  regenerate) are parsed and checked for the paper's structural invariants
+  — every baseline bar is 100.0 and components stack to the total;
+* the quick fixtures under ``tests/golden/`` (seconds to regenerate) are
+  **re-simulated here** and compared bar-by-bar within the rendering
+  tolerance.  The simulator is deterministic, so any deviation is a real
+  behaviour change, not noise.
+
+To intentionally re-record the quick fixtures after a behaviour-changing
+(and justified) change, delete ``tests/golden/*.txt`` and rebuild them with
+the recipe in ``docs/EXECUTION.md``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (compare_figures, figure_from_capacity_sweep,
+                            figure_from_cluster_sweep, load_figure,
+                            max_deviation, parse_cost_table, parse_rows,
+                            render_rows)
+from repro.core.config import MachineConfig
+from repro.core.study import ClusteringStudy
+
+RESULTS = Path(__file__).parent.parent / "benchmarks" / "results"
+GOLDEN = Path(__file__).parent / "golden"
+
+#: rendered text rounds to 0.1, so a faithful re-run can differ by at most
+#: one rounding step per component
+TOLERANCE = 0.15
+
+CFG = MachineConfig(n_processors=8)
+GOLDEN_CASES = {
+    "ocean": {"n": 16, "n_vcycles": 1},
+    "radix": {"n_keys": 2048, "radix": 32},
+    "lu": {"n": 32, "block": 8},
+}
+
+
+# ---------------------------------------------------------- seed artifacts
+
+
+@pytest.mark.parametrize("path", sorted(RESULTS.glob("fig*.txt")),
+                         ids=lambda p: p.stem)
+def test_seed_artifact_invariants(path):
+    """Every recorded figure obeys the paper's normalization contract."""
+    fig = load_figure(path)
+    for group in fig.groups:
+        assert group.bars, f"empty group in {path.name}"
+        # the 1p bar anchors its group at 100.0 (0.2: components rounded
+        # to 0.1 can stack to 100.2 in the worst case)
+        assert group.bars[0].total == pytest.approx(100.0, abs=0.21), \
+            f"{path.name} group {group.label!r} baseline is not 100"
+
+
+@pytest.mark.parametrize("name", ["table6_clustered_4kb", "table7_clustered_inf"])
+def test_seed_cost_tables_anchor_at_one(name):
+    table = parse_cost_table((RESULTS / f"{name}.txt").read_text())
+    assert table, f"no rows parsed from {name}"
+    for app, row in table.items():
+        assert row["1-way"] == pytest.approx(1.0), \
+            f"{name}: {app} is not normalized to the 1-way time"
+
+
+def test_seed_fig2_covers_all_nine_apps():
+    from repro.apps.registry import APP_NAMES
+    recorded = {p.stem.removeprefix("fig2_") for p in RESULTS.glob("fig2_*.txt")}
+    assert recorded == set(APP_NAMES)
+
+
+# ------------------------------------------------------------ parser sanity
+
+
+def test_parse_is_inverse_of_render():
+    study = ClusteringStudy("ocean", CFG, dict(GOLDEN_CASES["ocean"]))
+    fig = figure_from_cluster_sweep("round trip",
+                                    study.cluster_sweep(None, (1, 2)))
+    reparsed = parse_rows(render_rows(fig))
+    assert compare_figures(reparsed, fig, TOLERANCE) == []
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_rows("just a title\nwith no rows")
+    with pytest.raises(ValueError):
+        parse_cost_table("nothing tabular here")
+
+
+def test_parse_flags_inconsistent_rows():
+    bad = ("t\n=\n group   bar   total     cpu    load   merge    sync\n"
+           "----\n          1p   100.0    10.0    10.0    10.0    10.0\n")
+    with pytest.raises(ValueError, match="inconsistent"):
+        parse_rows(bad)
+
+
+# ------------------------------------------------------- quick-scale re-runs
+
+
+@pytest.mark.parametrize("app", sorted(GOLDEN_CASES))
+def test_golden_cluster_sweep(app):
+    """Fresh quick-scale bars match the recorded fixtures exactly (within
+    text-rendering resolution)."""
+    expected = load_figure(GOLDEN / f"cluster_{app}.txt")
+    study = ClusteringStudy(app, CFG, dict(GOLDEN_CASES[app]))
+    sweep = study.cluster_sweep(None, (1, 2, 4))
+    fresh = figure_from_cluster_sweep(expected.title, sweep)
+    deviations = compare_figures(fresh, expected, TOLERANCE)
+    assert deviations == [], (
+        f"{app} drifted from the golden fixture "
+        f"(max deviation {max_deviation(fresh, expected):.2f} points): "
+        f"{deviations[:6]}")
+
+
+def test_golden_capacity_sweep():
+    expected = load_figure(GOLDEN / "capacity_ocean.txt")
+    study = ClusteringStudy("ocean", CFG, dict(GOLDEN_CASES["ocean"]))
+    sweep = study.capacity_sweep((1, None), (1, 2))
+    fresh = figure_from_capacity_sweep(expected.title, sweep)
+    assert compare_figures(fresh, expected, TOLERANCE) == []

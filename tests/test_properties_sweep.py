@@ -1,0 +1,208 @@
+"""Property-based tests for the sweep normalization and result codec.
+
+Uses hypothesis when available (it is in the dev environment); a small
+always-on parametrized section keeps the core contracts covered even on a
+bare install.
+"""
+
+import pytest
+
+from repro.core.metrics import (MissCause, MissCounters, RunResult,
+                                TimeBreakdown)
+from repro.core.study import SweepPoint, normalize_sweep
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+# ------------------------------------------------------------- strategies
+
+_component = st.integers(0, 10**7)
+
+
+@st.composite
+def breakdowns(draw, min_total=0):
+    bd = TimeBreakdown(cpu=draw(_component), load=draw(_component),
+                       merge=draw(_component), sync=draw(_component))
+    if bd.total < min_total:
+        bd.cpu += min_total - bd.total
+    return bd
+
+
+@st.composite
+def miss_counters(draw):
+    count = st.integers(0, 10**6)
+    counters = MissCounters(
+        references=draw(count), reads=draw(count), writes=draw(count),
+        hits=draw(count), read_misses=draw(count),
+        write_misses=draw(count), upgrade_misses=draw(count),
+        merges=draw(count), merge_refetches=draw(count),
+        prefetch_hits=draw(count))
+    for cause in MissCause:
+        counters.by_cause[cause] = draw(count)
+    return counters
+
+
+@st.composite
+def run_results(draw):
+    n_proc = draw(st.integers(1, 6))
+    n_clusters = draw(st.integers(1, n_proc))
+    per_proc = [draw(breakdowns()) for _ in range(n_proc)]
+    # the mean breakdown is float-valued in real results; model that too
+    mean = TimeBreakdown(
+        cpu=sum(b.cpu for b in per_proc) / n_proc,
+        load=sum(b.load for b in per_proc) / n_proc,
+        merge=sum(b.merge for b in per_proc) / n_proc,
+        sync=sum(b.sync for b in per_proc) / n_proc)
+    return RunResult(
+        execution_time=draw(st.integers(0, 10**9)),
+        breakdown=mean,
+        per_processor=per_proc,
+        misses=draw(miss_counters()),
+        per_cluster_misses=[draw(miss_counters())
+                            for _ in range(n_clusters)])
+
+
+def _point(app, cluster, cache_kb, bd: TimeBreakdown) -> SweepPoint:
+    result = RunResult(execution_time=bd.total, breakdown=bd,
+                       per_processor=[bd], misses=MissCounters(),
+                       per_cluster_misses=[MissCounters()])
+    return SweepPoint(app, cluster, cache_kb, result)
+
+
+@st.composite
+def cluster_sweeps(draw):
+    clusters = draw(st.lists(st.sampled_from([1, 2, 4, 8, 16]),
+                             min_size=1, max_size=5, unique=True))
+    if 1 not in clusters:
+        clusters.append(1)
+    return {c: _point("app", c, None, draw(breakdowns(min_total=1)))
+            for c in clusters}
+
+
+@st.composite
+def capacity_sweeps(draw):
+    caches = draw(st.lists(st.sampled_from([1, 4, 16, 32, None]),
+                           min_size=1, max_size=4, unique=True))
+    clusters = draw(st.lists(st.sampled_from([1, 2, 4, 8]),
+                             min_size=1, max_size=4, unique=True))
+    if 1 not in clusters:
+        clusters.append(1)
+    return {(kb, c): _point("app", c, kb, draw(breakdowns(min_total=1)))
+            for kb in caches for c in clusters}
+
+
+# ---------------------------------------------------------- normalization
+
+
+@given(sweep=cluster_sweeps())
+def test_baseline_bar_is_exactly_100(sweep):
+    norm = normalize_sweep(sweep)
+    assert norm[1]["total"] == 100.0
+
+
+@given(sweep=capacity_sweeps())
+def test_capacity_baselines_are_exactly_100_per_group(sweep):
+    norm = normalize_sweep(sweep)
+    for (kb, c) in sweep:
+        if c == 1:
+            assert norm[(kb, c)]["total"] == 100.0
+
+
+@given(sweep=cluster_sweeps())
+def test_components_sum_to_total(sweep):
+    for v in normalize_sweep(sweep).values():
+        assert v["cpu"] + v["load"] + v["merge"] + v["sync"] == \
+            pytest.approx(v["total"], rel=1e-12, abs=1e-9)
+
+
+@given(sweep=cluster_sweeps())
+def test_normalization_preserves_ratios(sweep):
+    """bar_total / 100 == execution_time / baseline_time for every bar."""
+    norm = normalize_sweep(sweep)
+    base = sweep[1].execution_time
+    for c, point in sweep.items():
+        assert norm[c]["total"] / 100.0 == \
+            pytest.approx(point.execution_time / base, rel=1e-12)
+
+
+@given(sweep=cluster_sweeps())
+def test_missing_baseline_raises(sweep):
+    partial = {c: p for c, p in sweep.items() if c != 1}
+    if not partial:
+        return  # removing the only point leaves an empty (legal) sweep
+    with pytest.raises(ValueError, match="baseline"):
+        normalize_sweep(partial)
+
+
+@given(sweep=capacity_sweeps())
+def test_missing_group_baseline_raises(sweep):
+    partial = {(kb, c): p for (kb, c), p in sweep.items() if c != 1}
+    if not partial:
+        return
+    with pytest.raises(ValueError, match="baseline"):
+        normalize_sweep(partial)
+
+
+# ------------------------------------------------------------- round-trip
+
+
+@given(result=run_results())
+@settings(max_examples=60)
+def test_runresult_json_round_trip(result):
+    assert RunResult.from_json(result.to_json()) == result
+
+
+@given(result=run_results())
+@settings(max_examples=60)
+def test_runresult_json_round_trip_is_byte_stable(result):
+    """encode → decode → encode reproduces the same bytes."""
+    text = result.to_json()
+    assert RunResult.from_json(text).to_json() == text
+
+
+@given(bd=breakdowns())
+def test_breakdown_dict_round_trip(bd):
+    assert TimeBreakdown.from_dict(bd.to_dict()) == bd
+
+
+@given(counters=miss_counters())
+def test_misscounters_dict_round_trip(counters):
+    assert MissCounters.from_dict(counters.to_dict()) == counters
+
+
+# ----------------------------------------- always-on (no-hypothesis) core
+
+
+class TestCodecEdgeCases:
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            RunResult.from_json("[1, 2, 3]")
+
+    def test_rejects_malformed_json(self):
+        with pytest.raises(ValueError):
+            RunResult.from_json("{not json")
+
+    @pytest.mark.parametrize("value", ["12", None, True, [1]])
+    def test_rejects_non_numeric_components(self, value):
+        with pytest.raises(ValueError):
+            TimeBreakdown.from_dict({"cpu": value, "load": 0, "merge": 0,
+                                     "sync": 0})
+
+    def test_rejects_unknown_cause(self):
+        counters = MissCounters().to_dict()
+        counters["by_cause"]["warp-drive"] = 3
+        with pytest.raises(ValueError):
+            MissCounters.from_dict(counters)
+
+    def test_missing_cause_defaults_to_zero(self):
+        payload = MissCounters().to_dict()
+        del payload["by_cause"]["capacity"]
+        restored = MissCounters.from_dict(payload)
+        assert restored.by_cause[MissCause.CAPACITY] == 0
+
+    def test_float_means_survive(self):
+        bd = TimeBreakdown(cpu=1.25, load=0, merge=0, sync=0.75)
+        restored = TimeBreakdown.from_dict(bd.to_dict())
+        assert isinstance(restored.cpu, float) and restored.cpu == 1.25
