@@ -14,6 +14,9 @@ multiprocessors plus the paper's full experimental apparatus:
   shared-reference streams;
 * :mod:`repro.core` — machine configs (Table 1), sweep driver, the §6
   shared-cache cost model (Tables 4-7), and working-set profiling;
+* :mod:`repro.network` — interconnect models behind a pluggable latency
+  provider: mesh/crossbar topologies, hop-based Table-1-calibrated
+  latencies, and M/D/1 queueing contention;
 * :mod:`repro.analysis` — the paper's figures and tables, regenerated.
 
 Quickstart::
@@ -24,20 +27,22 @@ Quickstart::
 """
 
 from .core.config import (PAPER_CACHE_SIZES_KB, PAPER_CLUSTER_SIZES,
-                          LatencyModel, MachineConfig)
-from .core.metrics import (MissCause, MissCounters, MissKind, RunResult,
-                           TimeBreakdown)
+                          PAPER_NETWORK_LOADS, LatencyModel, MachineConfig,
+                          NetworkConfig)
+from .core.metrics import (MissCause, MissCounters, MissKind, NetworkStats,
+                           RunResult, TimeBreakdown)
 from .memory.coherence import CoherentMemorySystem
 from .sim.engine import Engine, PerfectMemory, run_program
 from .sim.program import Barrier, Lock, Read, Unlock, Work, Write
 from .sim.stats import summarize
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "MachineConfig", "LatencyModel",
-    "PAPER_CLUSTER_SIZES", "PAPER_CACHE_SIZES_KB",
-    "MissKind", "MissCause", "MissCounters", "TimeBreakdown", "RunResult",
+    "MachineConfig", "LatencyModel", "NetworkConfig",
+    "PAPER_CLUSTER_SIZES", "PAPER_CACHE_SIZES_KB", "PAPER_NETWORK_LOADS",
+    "MissKind", "MissCause", "MissCounters", "NetworkStats",
+    "TimeBreakdown", "RunResult",
     "CoherentMemorySystem", "Engine", "PerfectMemory", "run_program",
     "Work", "Read", "Write", "Barrier", "Lock", "Unlock",
     "summarize", "run_app", "__version__",

@@ -15,8 +15,10 @@ from typing import Any, Mapping
 
 from ..core.study import CacheKey, SweepPoint, cache_label, normalize_sweep
 
-__all__ = ["Bar", "BarGroup", "FigureData", "figure_from_cluster_sweep",
-           "figure_from_capacity_sweep", "render_rows", "render_ascii"]
+__all__ = ["Bar", "BarGroup", "FigureData", "contention_slowdown",
+           "figure_from_cluster_sweep", "figure_from_capacity_sweep",
+           "figure_from_contention_sweep", "render_rows", "render_ascii",
+           "render_slowdown"]
 
 _COMPONENTS = ("cpu", "load", "merge", "sync")
 
@@ -107,6 +109,64 @@ def figure_from_capacity_sweep(title: str,
                 group.bars.append(_bar_from_norm(f"{c}p", norms[(k, c)]))
         fig.groups.append(group)
     return fig
+
+
+def figure_from_contention_sweep(title: str,
+                                 sweep: Mapping[tuple[float, int], SweepPoint],
+                                 ) -> FigureData:
+    """Contention-sensitivity figure: one group per network load.
+
+    Bars within a load group are normalized to the 1-processor-per-cluster
+    bar *at that load*, so the clustering benefit under load reads exactly
+    like the paper's figures read the benefit at a cache size: a bar below
+    100 means that cluster size beats 1-per-cluster at that load, and the
+    load at which larger clusters' bars sink below 100 is the crossover.
+    """
+    norms = normalize_sweep(sweep)
+    loads = sorted({load for load, _ in sweep})
+    fig = FigureData(title=title)
+    for load in loads:
+        group = BarGroup(label=f"{load:g}")
+        for (ld, c) in sorted(sweep, key=lambda kc: kc[1]):
+            if ld == load:
+                group.bars.append(_bar_from_norm(f"{c}p", norms[(ld, c)]))
+        fig.groups.append(group)
+    return fig
+
+
+def contention_slowdown(sweep: Mapping[tuple[float, int], SweepPoint],
+                        ) -> dict[int, dict[float, float]]:
+    """Per-cluster-size degradation: time(load) / time(lowest load).
+
+    Returns ``{cluster_size: {load: slowdown}}`` with the lowest swept
+    load (ideally 0.0) as the 1.0 baseline of each cluster size.  Larger
+    clusters sending fewer and shorter-routed messages show smaller
+    slowdowns — the quantity the contention study is after.
+    """
+    by_cluster: dict[int, dict[float, int]] = {}
+    for (load, c), point in sweep.items():
+        by_cluster.setdefault(c, {})[load] = point.execution_time
+    out: dict[int, dict[float, float]] = {}
+    for c, times in sorted(by_cluster.items()):
+        base = times[min(times)]
+        out[c] = {load: times[load] / base for load in sorted(times)}
+    return out
+
+
+def render_slowdown(slowdown: Mapping[int, Mapping[float, float]],
+                    title: str) -> str:
+    """Aligned slowdown table: one row per cluster size, one column per load."""
+    lines = [title, "=" * len(title)]
+    loads = sorted({ld for row in slowdown.values() for ld in row})
+    header = f"{'cluster':>8} " + " ".join(f"load {ld:g}".rjust(9)
+                                           for ld in loads)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for c in sorted(slowdown):
+        row = slowdown[c]
+        lines.append(f"{f'{c}p':>8} " + " ".join(
+            f"{row[ld]:9.3f}" if ld in row else " " * 9 for ld in loads))
+    return "\n".join(lines)
 
 
 def render_rows(fig: FigureData) -> str:

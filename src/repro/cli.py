@@ -10,6 +10,7 @@ Examples::
     repro-clustering table5 --measure
     repro-clustering table6 --quick
     repro-clustering workingset barnes
+    repro-clustering network ocean --quick --loads 0,0.5,0.8
 
 ``--quick`` shrinks problem sizes (~10× fewer cycles) for sanity runs;
 ``--paper-scale`` selects the paper's Table 2 sizes.  Everything prints the
@@ -33,13 +34,15 @@ import sys
 import time
 from typing import Any
 
-from .analysis import (figure_from_capacity_sweep, figure_from_cluster_sweep,
-                       merge_anatomy, miss_breakdown, render_ascii,
-                       render_cost_table, render_miss_breakdown, render_rows,
+from .analysis import (contention_slowdown, figure_from_capacity_sweep,
+                       figure_from_cluster_sweep,
+                       figure_from_contention_sweep, merge_anatomy,
+                       miss_breakdown, render_ascii, render_cost_table,
+                       render_miss_breakdown, render_rows, render_slowdown,
                        render_table1, render_table4, render_table5)
 from .apps.registry import APP_NAMES, PAPER_PROBLEM_SIZES
 from .core.config import (PAPER_CACHE_SIZES_KB, PAPER_CLUSTER_SIZES,
-                          MachineConfig)
+                          PAPER_NETWORK_LOADS, MachineConfig)
 from .core.contention import (PAPER_TABLE5, ExpansionTable,
                               LoadLatencyProfiler, SharedCacheCostModel)
 from .core.executor import SweepExecutionError, SweepExecutor
@@ -116,6 +119,22 @@ def _positive_int(value: str) -> int:
     if n < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
     return n
+
+
+def _positive_float(value: str) -> float:
+    x = float(value)
+    if x <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return x
+
+
+def _load_list(value: str) -> list[float]:
+    loads = [float(v) for v in value.split(",") if v]
+    for load in loads:
+        if not (0.0 <= load < 1.0):
+            raise argparse.ArgumentTypeError(
+                f"loads must be in [0, 1), got {load:g}")
+    return loads
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -300,6 +319,55 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_network(args: argparse.Namespace) -> int:
+    """Contention-sensitivity sweep under the mesh interconnect model."""
+    cache = _cache_arg(args.cache)
+    loads = sorted(set(args.loads) | {0.0})  # 0 anchors both checks below
+    study = _study(args.app, args)
+    t0 = time.time()
+
+    table_sweep = study.cluster_sweep(cache, args.cluster_sizes)
+    sweep = study.contention_sweep(loads, args.cluster_sizes, cache)
+
+    title = f"# {args.app}: zero-load mesh vs Table 1 (calibration check)"
+    print(title)
+    print(f"{'bar':>5} {'table':>14} {'mesh @ 0':>14} {'deviation':>10}")
+    worst = 0.0
+    for c in sorted(args.cluster_sizes):
+        t_table = table_sweep[c].execution_time
+        t_mesh = sweep[(0.0, c)].execution_time
+        dev = 100.0 * (t_mesh - t_table) / t_table
+        worst = max(worst, abs(dev))
+        print(f"{f'{c}p':>5} {t_table:>14,} {t_mesh:>14,} {dev:>+9.2f}%")
+    print(f"worst deviation: {worst:.2f}%\n")
+
+    fig = figure_from_contention_sweep(
+        f"Contention sensitivity: {args.app}, cache {args.cache} "
+        f"(bars % of 1p at the same load)", sweep)
+    print(render_rows(fig))
+    if args.ascii:
+        print(render_ascii(fig))
+
+    print()
+    print(render_slowdown(contention_slowdown(sweep),
+                          f"{args.app}: slowdown vs zero network load"))
+
+    top = max(loads)
+    print(f"\n# network counters at load {top:g}")
+    print(f"{'bar':>5} {'messages':>12} {'hops/msg':>9} {'queue cyc':>12} "
+          f"{'peak util':>10}")
+    for c in sorted(args.cluster_sizes):
+        net = sweep[(top, c)].result.network
+        if net is None:
+            continue
+        per = net.hops / net.messages if net.messages else 0.0
+        print(f"{f'{c}p':>5} {net.messages:>12,} {per:>9.2f} "
+              f"{net.queue_delay_cycles:>12,} "
+              f"{net.peak_link_utilization:>10.3f}")
+    print(f"[{time.time() - t0:.1f}s]")
+    return 0
+
+
 def cmd_merge(args: argparse.Namespace) -> int:
     study = _study(args.app, args)
     sweep = study.cluster_sweep(_cache_arg(args.cache), args.cluster_sizes)
@@ -334,7 +402,8 @@ def _add_global_options(p: argparse.ArgumentParser, *,
     p.add_argument("--jobs", type=_positive_int, default=dflt(1), metavar="N",
                    help="evaluate sweep points in N worker processes "
                    "(default 1 = serial; results are identical either way)")
-    p.add_argument("--timeout", type=float, default=dflt(None), metavar="SECS",
+    p.add_argument("--timeout", type=_positive_float, default=dflt(None),
+                   metavar="SECS",
                    help="per-point wall-clock limit (process backend only); "
                    "a late point reports an error, the sweep continues")
     p.add_argument("--no-cache", action="store_true", default=dflt(False),
@@ -404,6 +473,18 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("app", choices=APP_NAMES)
     sp.add_argument("--clusters", type=int, default=1)
     sp.set_defaults(func=cmd_workingset)
+
+    sp = add_command("network",
+                        help="interconnect contention sensitivity "
+                        "(mesh model vs Table 1)")
+    sp.add_argument("app", nargs="?", default="ocean", choices=APP_NAMES)
+    sp.add_argument("--cache", default="inf",
+                    help="per-processor cache KB or 'inf' (default inf)")
+    sp.add_argument("--loads", type=_load_list,
+                    default=list(PAPER_NETWORK_LOADS), metavar="L,L,...",
+                    help="background network loads in [0,1) to sweep "
+                    "(default 0,0.3,0.6,0.8; 0 is always included)")
+    sp.set_defaults(func=cmd_network)
 
     sp = add_command("merge", help="load-vs-merge anatomy per cluster size")
     sp.add_argument("app", choices=APP_NAMES)

@@ -21,7 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 __all__ = ["DEFAULT_LINE_SIZE", "DEFAULT_PAGE_SIZE", "LatencyModel",
-           "MachineConfig", "PAPER_CLUSTER_SIZES", "PAPER_CACHE_SIZES_KB"]
+           "MachineConfig", "NetworkConfig", "NETWORK_PROVIDERS",
+           "NETWORK_TOPOLOGIES", "PAPER_CLUSTER_SIZES",
+           "PAPER_CACHE_SIZES_KB", "PAPER_NETWORK_LOADS"]
 
 #: Cache line size used throughout the paper's experiments (bytes).
 DEFAULT_LINE_SIZE = 64
@@ -35,6 +37,10 @@ PAPER_CLUSTER_SIZES = (1, 2, 4, 8)
 
 #: Finite per-processor cache sizes of Figures 4-8, in KB (None = infinite).
 PAPER_CACHE_SIZES_KB = (4, 16, 32, None)
+
+#: Background network loads swept by the contention-sensitivity study
+#: (extension: the paper models no contention, i.e. load 0 only).
+PAPER_NETWORK_LOADS = (0.0, 0.3, 0.6, 0.8)
 
 
 @dataclass(frozen=True)
@@ -69,13 +75,17 @@ class LatencyModel:
         """Shared-cache hit time for a given cluster size (Table 1 rows 1-3).
 
         Cluster sizes beyond the table (e.g. the 64-way 'inf' configuration)
-        use the largest tabulated value.
+        use the largest tabulated value.  The row with the largest cluster
+        size not exceeding ``cluster_size`` wins regardless of the order the
+        rows are listed in, so custom tables need not be sorted.
         """
         if cluster_size <= 0:
             raise ValueError("cluster_size must be positive")
         best = None
+        best_size = 0
         for size, cycles in self.hit_by_cluster_size:
-            if cluster_size >= size:
+            if size <= cluster_size and size >= best_size:
+                best_size = size
                 best = cycles
         if best is None:
             raise ValueError(f"no hit latency tabulated at or below {cluster_size}")
@@ -118,6 +128,92 @@ class LatencyModel:
         }
 
 
+#: recognised interconnect latency providers
+NETWORK_PROVIDERS = ("table", "mesh")
+
+#: recognised interconnect topologies
+NETWORK_TOPOLOGIES = ("mesh", "crossbar")
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Interconnect model selection and its cost knobs.
+
+    The default (``provider="table"``) charges every miss the flat Table 1
+    latency — the paper's §3.1 methodology, bit-identical to the historical
+    behaviour.  ``provider="mesh"`` replaces the flat table with a
+    hop-based model over a 2D mesh (or ideal crossbar) of cluster nodes:
+    per-hop wire + router cycles, directory occupancy at the home node,
+    and optional M/D/1 queueing delays driven by the simulated miss
+    stream plus a synthetic ``background_load`` (see
+    :mod:`repro.network`).
+
+    Attributes
+    ----------
+    provider:
+        ``"table"`` (flat Table 1 latencies) or ``"mesh"`` (hop-based).
+    topology:
+        ``"mesh"`` (2D, near-square, dimension-order routed) or
+        ``"crossbar"`` (every distinct pair one hop apart, per-port
+        contention) — only consulted by the mesh provider.
+    wire_cycles:
+        Wire traversal cycles per hop.
+    router_cycles:
+        Router pipeline cycles per hop.
+    directory_cycles:
+        Directory/memory occupancy per transaction at the home node (the
+        service time of the home's queue under contention).
+    background_load:
+        Synthetic utilization in ``[0, 1)`` added to every link and
+        directory — the "network load" axis of the contention sweep.
+    contention:
+        Model queueing delays at links and directories (mesh provider
+        only).  With it off
+        the mesh provider is a pure zero-load hop model.
+    """
+
+    provider: str = "table"
+    topology: str = "mesh"
+    wire_cycles: int = 1
+    router_cycles: int = 1
+    directory_cycles: int = 6
+    background_load: float = 0.0
+    contention: bool = True
+
+    def __post_init__(self) -> None:
+        if self.provider not in NETWORK_PROVIDERS:
+            raise ValueError(f"unknown network provider {self.provider!r}; "
+                             f"choose from {NETWORK_PROVIDERS}")
+        if self.topology not in NETWORK_TOPOLOGIES:
+            raise ValueError(f"unknown network topology {self.topology!r}; "
+                             f"choose from {NETWORK_TOPOLOGIES}")
+        if self.wire_cycles < 0 or self.router_cycles < 0:
+            raise ValueError("wire_cycles and router_cycles must be >= 0")
+        if self.wire_cycles + self.router_cycles <= 0:
+            raise ValueError("wire_cycles + router_cycles must be positive")
+        if self.directory_cycles <= 0:
+            raise ValueError("directory_cycles must be positive")
+        if not (0.0 <= self.background_load < 1.0):
+            raise ValueError("background_load must be in [0, 1)")
+
+    @property
+    def hop_cycles(self) -> int:
+        """Cost of one hop (wire + router)."""
+        return self.wire_cycles + self.router_cycles
+
+    def to_dict(self) -> dict:
+        """JSON-stable representation (used in result-cache keys)."""
+        return {
+            "provider": self.provider,
+            "topology": self.topology,
+            "wire_cycles": self.wire_cycles,
+            "router_cycles": self.router_cycles,
+            "directory_cycles": self.directory_cycles,
+            "background_load": self.background_load,
+            "contention": self.contention,
+        }
+
+
 @dataclass(frozen=True)
 class MachineConfig:
     """Complete description of one simulated machine organisation.
@@ -138,6 +234,10 @@ class MachineConfig:
         Geometry in bytes.
     latency:
         The Table 1 latency model.
+    network:
+        Interconnect model selection (:class:`NetworkConfig`).  The default
+        flat-table provider reproduces the paper exactly; the mesh provider
+        makes miss latency hop- and load-dependent.
     """
 
     n_processors: int = 64
@@ -147,6 +247,7 @@ class MachineConfig:
     line_size: int = DEFAULT_LINE_SIZE
     page_size: int = DEFAULT_PAGE_SIZE
     latency: LatencyModel = field(default_factory=LatencyModel)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
 
     def __post_init__(self) -> None:
         if self.n_processors <= 0:
@@ -212,6 +313,10 @@ class MachineConfig:
         """Copy of this config with a different cache associativity."""
         return replace(self, associativity=associativity)
 
+    def with_network(self, network: NetworkConfig) -> "MachineConfig":
+        """Copy of this config with a different interconnect model."""
+        return replace(self, network=network)
+
     def to_dict(self) -> dict:
         """JSON-stable representation of the *complete* machine description.
 
@@ -228,6 +333,7 @@ class MachineConfig:
             "line_size": self.line_size,
             "page_size": self.page_size,
             "latency": self.latency.to_dict(),
+            "network": self.network.to_dict(),
         }
 
     def describe(self) -> str:

@@ -36,7 +36,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
-from .config import MachineConfig
+from .config import MachineConfig, NetworkConfig
 from .metrics import RunResult
 from .resultcache import ResultCache
 
@@ -55,18 +55,24 @@ class PointSpec:
     ``app_kwargs`` is stored as a sorted tuple of items so specs are
     hashable, order-insensitive, and cheap to pickle across processes.
     Build instances with :meth:`make` (which accepts a plain dict).
+
+    ``network`` optionally overrides the base config's interconnect model
+    for this point — the contention sweep varies it per point the way
+    cluster and cache size always varied.  ``None`` inherits the base.
     """
 
     app: str
     cluster_size: int
     cache_kb: float | int | None
     app_kwargs: tuple[tuple[str, Any], ...] = ()
+    network: NetworkConfig | None = None
 
     @classmethod
     def make(cls, app: str, cluster_size: int, cache_kb: float | int | None,
-             app_kwargs: Mapping[str, Any] | None = None) -> "PointSpec":
+             app_kwargs: Mapping[str, Any] | None = None,
+             network: NetworkConfig | None = None) -> "PointSpec":
         return cls(app, int(cluster_size), cache_kb,
-                   tuple(sorted((app_kwargs or {}).items())))
+                   tuple(sorted((app_kwargs or {}).items())), network)
 
     @property
     def kwargs(self) -> dict[str, Any]:
@@ -75,15 +81,22 @@ class PointSpec:
 
     def config_for(self, base: MachineConfig) -> MachineConfig:
         """The machine this point runs on, derived from a base template."""
-        return base.with_clusters(self.cluster_size).with_cache_kb(
+        config = base.with_clusters(self.cluster_size).with_cache_kb(
             None if self.cache_kb is None else float(self.cache_kb))
+        if self.network is not None:
+            config = config.with_network(self.network)
+        return config
 
     def describe(self) -> str:
         cache = "inf" if self.cache_kb is None else f"{self.cache_kb:g}k"
         kw = (", ".join(f"{k}={v}" for k, v in self.app_kwargs)
               if self.app_kwargs else "defaults")
-        return (f"{self.app} @ {self.cluster_size}/cluster, cache {cache} "
-                f"({kw})")
+        net = ""
+        if self.network is not None:
+            net = (f", {self.network.provider} net "
+                   f"@ load {self.network.background_load:g}")
+        return (f"{self.app} @ {self.cluster_size}/cluster, cache {cache}"
+                f"{net} ({kw})")
 
 
 def as_point_spec(obj: Any) -> PointSpec:

@@ -22,8 +22,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Mapping
 
-__all__ = ["MissKind", "MissCause", "MissCounters", "TimeBreakdown",
-           "RunResult"]
+__all__ = ["MissKind", "MissCause", "MissCounters", "NetworkStats",
+           "TimeBreakdown", "RunResult"]
 
 
 def _num(value: Any) -> int | float:
@@ -134,6 +134,58 @@ class MissCounters:
 
 
 @dataclass
+class NetworkStats:
+    """Interconnect counters accumulated by a hop-based latency provider.
+
+    Filled in by :class:`repro.network.latency.MeshLatency`; runs under the
+    default flat-table provider carry no network stats (``RunResult.network
+    is None``).
+
+    Attributes
+    ----------
+    messages:
+        Directory transactions routed over the network (one per miss that
+        reached the home node).
+    hops:
+        Total hops traversed by all transaction legs.
+    link_busy_cycles:
+        Cycles of link occupancy recorded by the contention model.
+    directory_busy_cycles:
+        Cycles of home-directory occupancy recorded by the contention model.
+    queue_delay_cycles:
+        Total queueing delay added on top of zero-load latencies.
+    peak_link_utilization:
+        Highest per-link utilization (including background load) observed
+        when a transaction was routed.
+    """
+
+    messages: int = 0
+    hops: int = 0
+    link_busy_cycles: int = 0
+    directory_busy_cycles: int = 0
+    queue_delay_cycles: int = 0
+    peak_link_utilization: float = 0.0
+
+    # ------------------------------------------------------- serialization
+    _INT_FIELDS = ("messages", "hops", "link_busy_cycles",
+                   "directory_busy_cycles", "queue_delay_cycles")
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {f: getattr(self, f) for f in self._INT_FIELDS}
+        out["peak_link_utilization"] = self.peak_link_utilization
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NetworkStats":
+        try:
+            kwargs = {f: _num(data[f]) for f in cls._INT_FIELDS}
+            peak = _num(data["peak_link_utilization"])
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ValueError(f"malformed NetworkStats payload: {exc}") from exc
+        return cls(peak_link_utilization=peak, **kwargs)
+
+
+@dataclass
 class TimeBreakdown:
     """Execution time split into the paper's four stacked components."""
 
@@ -227,6 +279,9 @@ class RunResult:
         Aggregate miss counters over all clusters.
     per_cluster_misses:
         Miss counters per cluster, in cluster order.
+    network:
+        Interconnect counters when a hop-based latency provider ran
+        (``None`` under the default flat-table provider).
     """
 
     execution_time: int
@@ -234,6 +289,7 @@ class RunResult:
     per_processor: list[TimeBreakdown]
     misses: MissCounters
     per_cluster_misses: list[MissCounters]
+    network: NetworkStats | None = None
 
     @property
     def n_processors(self) -> int:
@@ -244,7 +300,7 @@ class RunResult:
     # determinism-test comparison format: ``to_json`` is canonical (sorted
     # keys, fixed separators), so byte-equal JSON ⟺ equal results.
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out = {
             "execution_time": self.execution_time,
             "breakdown": self.breakdown.to_dict(),
             "per_processor": [b.to_dict() for b in self.per_processor],
@@ -252,6 +308,11 @@ class RunResult:
             "per_cluster_misses": [m.to_dict()
                                    for m in self.per_cluster_misses],
         }
+        # absent (not null) when no network model ran: keeps the encoding of
+        # flat-table runs — and therefore every golden fixture — unchanged
+        if self.network is not None:
+            out["network"] = self.network.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
@@ -264,6 +325,8 @@ class RunResult:
                 misses=MissCounters.from_dict(data["misses"]),
                 per_cluster_misses=[MissCounters.from_dict(d)
                                     for d in data["per_cluster_misses"]],
+                network=(NetworkStats.from_dict(data["network"])
+                         if data.get("network") is not None else None),
             )
         except ValueError:
             raise

@@ -23,10 +23,11 @@ uncached executor reproduces the historical behaviour exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Mapping
 
-from .config import (PAPER_CACHE_SIZES_KB, PAPER_CLUSTER_SIZES, MachineConfig)
+from .config import (PAPER_CACHE_SIZES_KB, PAPER_CLUSTER_SIZES,
+                     PAPER_NETWORK_LOADS, MachineConfig)
 from .executor import PointSpec, SweepExecutor, raise_failures
 from .metrics import RunResult
 
@@ -120,6 +121,40 @@ class ClusteringStudy:
         results = self._run_grid(grid)
         return {(kb, c): SweepPoint(self.app, c, kb, r)
                 for ((kb, c), _), r in zip(grid, results)}
+
+    def contention_sweep(self, loads: Iterable[float] = PAPER_NETWORK_LOADS,
+                         cluster_sizes: Iterable[int] = PAPER_CLUSTER_SIZES,
+                         cache_kb: CacheKey = None,
+                         ) -> dict[tuple[float, int], SweepPoint]:
+        """The network-load × cluster-size grid under the mesh provider.
+
+        Every point runs with ``provider="mesh"`` and the given
+        ``background_load``; topology and hop/directory costs come from
+        the base config's ``network`` block.  Load 0.0 anchors the sweep
+        with contention *off* — the pure calibrated hop model, which
+        matches the flat Table 1 provider's execution times — so the
+        degradation baseline and the Table-1 cross-check are the same
+        point and every nonzero load measures queueing (the simulated
+        traffic's own plus the synthetic background) against an
+        uncontended network.
+
+        Returns ``{(background_load, cluster_size): point}``;
+        :func:`normalize_sweep` groups such keys by load, and
+        :func:`repro.analysis.figures.figure_from_contention_sweep`
+        renders execution time vs load at each cluster size.
+        """
+        grid = []
+        for load in loads:
+            net = replace(self.base_config.network, provider="mesh",
+                          background_load=float(load),
+                          contention=load > 0)
+            for c in cluster_sizes:
+                spec = PointSpec.make(self.app, c, cache_kb,
+                                      self.app_kwargs, network=net)
+                grid.append(((float(load), c), spec))
+        results = self._run_grid(grid)
+        return {key: SweepPoint(self.app, key[1], cache_kb, r)
+                for (key, _), r in zip(grid, results)}
 
 
 def normalize_sweep(points: Mapping[tuple[CacheKey, int], SweepPoint] |

@@ -30,7 +30,8 @@ divides byte addresses by the line size once).
 from __future__ import annotations
 
 from ..core.config import MachineConfig
-from ..core.metrics import MissCause, MissCounters
+from ..core.metrics import MissCause, MissCounters, NetworkStats
+from ..network.latency import make_latency_provider
 from .allocation import PageAllocator
 from .cache import EXCLUSIVE, SHARED, Eviction, make_cache
 from .directory import DIR_EXCLUSIVE, DIR_SHARED, NOT_CACHED, Directory
@@ -70,6 +71,9 @@ class CoherentMemorySystem:
                 f"allocator built for {self.allocator.n_clusters} clusters, "
                 f"machine has {config.n_clusters}")
         self.directory = Directory(config.n_clusters)
+        # miss pricing goes through a pluggable provider; the default
+        # flat-table provider is bit-identical to config.latency
+        self.latency = make_latency_provider(config)
         capacity = config.cluster_cache_lines
         self.caches = [make_cache(capacity, config.associativity)
                        for _ in range(config.n_clusters)]
@@ -164,12 +168,12 @@ class CoherentMemorySystem:
         dentry = self.directory.entry(line)
         if dentry.state == DIR_EXCLUSIVE:
             owner = dentry.owner
-            latency = self.config.latency.miss_cycles(cluster, home, owner)
+            latency = self.latency.miss_cycles(cluster, home, owner, now)
             # Owner keeps the data but downgrades; reader joins the sharers.
             self.caches[owner].downgrade(line)
             self.directory.downgrade_owner(line, cluster)
         else:
-            latency = self.config.latency.miss_cycles(cluster, home, None)
+            latency = self.latency.miss_cycles(cluster, home, None, now)
             self.directory.record_read_fill(line, cluster)
         self._install(cluster, line, SHARED, now + latency, processor)
         return latency
@@ -180,9 +184,10 @@ class CoherentMemorySystem:
         home = self.allocator.home_of_line(line)
         dentry = self.directory.entry(line)
         if dentry.state == DIR_EXCLUSIVE:
-            latency = self.config.latency.miss_cycles(cluster, home, dentry.owner)
+            latency = self.latency.miss_cycles(cluster, home, dentry.owner,
+                                               now)
         else:
-            latency = self.config.latency.miss_cycles(cluster, home, None)
+            latency = self.latency.miss_cycles(cluster, home, None, now)
         self._invalidate_others(line, cluster)
         self.directory.record_exclusive(line, cluster)
         self._install(cluster, line, EXCLUSIVE, now + latency, processor)
@@ -239,6 +244,10 @@ class CoherentMemorySystem:
         for ctr in self.counters:
             ctr.merged_into(total)
         return total
+
+    def network_stats(self) -> NetworkStats | None:
+        """Interconnect counters (``None`` under the flat-table provider)."""
+        return self.latency.stats()
 
     def check_invariants(self) -> None:
         """Cross-check cache and directory state; raises on inconsistency.

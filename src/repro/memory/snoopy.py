@@ -30,7 +30,8 @@ accept either interchangeably.
 from __future__ import annotations
 
 from ..core.config import MachineConfig
-from ..core.metrics import MissCause, MissCounters
+from ..core.metrics import MissCause, MissCounters, NetworkStats
+from ..network.latency import make_latency_provider
 from .allocation import PageAllocator
 from .cache import EXCLUSIVE, SHARED, Eviction, make_cache
 from .coherence import READ_HIT, READ_MERGE, READ_MISS
@@ -77,6 +78,7 @@ class SnoopyClusterMemorySystem:
         if self.allocator.n_clusters != config.n_clusters:
             raise ValueError("allocator cluster count mismatch")
         self.directory = Directory(config.n_clusters)
+        self.latency = make_latency_provider(config)
         per_proc_lines = (None if config.cache_kb_per_processor is None
                           else max(int(config.cache_kb_per_processor * 1024
                                        // config.line_size), 1))
@@ -135,11 +137,11 @@ class SnoopyClusterMemorySystem:
             dentry = self.directory.entry(line)
             if dentry.state == DIR_EXCLUSIVE and not dentry.only_sharer_is(cluster):
                 owner = dentry.owner
-                latency = self.config.latency.miss_cycles(cluster, home, owner)
+                latency = self.latency.miss_cycles(cluster, home, owner, now)
                 self._downgrade_cluster(owner, line)
                 self.directory.downgrade_owner(line, cluster)
             else:
-                latency = self.config.latency.miss_cycles(cluster, home, None)
+                latency = self.latency.miss_cycles(cluster, home, None, now)
                 self.directory.record_read_fill(line, cluster)
             latency += self.snoop_penalty
         self._install(processor, line, SHARED, now + latency)
@@ -173,7 +175,7 @@ class SnoopyClusterMemorySystem:
             entry.state = EXCLUSIVE
         else:
             home = self.allocator.home_of_line(line)
-            latency = self.config.latency.miss_cycles(cluster, home, None) \
+            latency = self.latency.miss_cycles(cluster, home, None, now) \
                 + self.snoop_penalty
             self._install(processor, line, EXCLUSIVE, now + latency)
 
@@ -230,6 +232,10 @@ class SnoopyClusterMemorySystem:
         for ctr in self.counters:
             ctr.merged_into(total)
         return total
+
+    def network_stats(self) -> NetworkStats | None:
+        """Interconnect counters (``None`` under the flat-table provider)."""
+        return self.latency.stats()
 
     def check_invariants(self) -> None:
         """Cross-check processor caches against the directory.

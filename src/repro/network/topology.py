@@ -1,0 +1,125 @@
+"""Interconnect topologies: cluster nodes, coordinates, hops, and routes.
+
+The paper's Table 1 charges every miss a flat latency, which is equivalent
+to assuming an unloaded crossbar whose port-to-port delay has been folded
+into the protocol numbers.  To study what happens when distance and load
+matter, this module maps cluster ids onto physical nodes and answers two
+questions the latency layer asks:
+
+* ``hops(a, b)`` — how many hops a message from node ``a`` to node ``b``
+  traverses (0 when ``a == b``);
+* ``route(a, b)`` — which *links* it occupies on the way, as a tuple of
+  stable integer link ids, so the contention model can track per-link
+  utilization.
+
+Two concrete topologies:
+
+* :class:`MeshTopology` — a near-square 2D mesh with dimension-order (X
+  then Y) routing, the canonical DASH/Origin-era fabric.  Links are the
+  four directed ports of each node.
+* :class:`CrossbarTopology` — the idealised network implied by Table 1:
+  every distinct pair is one hop apart and the only shared resource is the
+  destination's input port (one link per node).
+"""
+
+from __future__ import annotations
+
+__all__ = ["CrossbarTopology", "MeshTopology", "make_topology"]
+
+
+def mesh_dims(n_nodes: int) -> tuple[int, int]:
+    """Near-square (width, height) factorization with ``width <= height``."""
+    if n_nodes <= 0:
+        raise ValueError("n_nodes must be positive")
+    width = int(n_nodes ** 0.5)
+    while n_nodes % width:
+        width -= 1
+    return width, n_nodes // width
+
+
+class MeshTopology:
+    """2D mesh of cluster nodes with dimension-order routing.
+
+    Node ``k`` sits at ``(k % width, k // width)``; a message from ``a``
+    to ``b`` first walks the X dimension, then Y.  Each traversed link is
+    one of the four directed ports (+x, -x, +y, -y) of the node it leaves.
+    """
+
+    name = "mesh"
+
+    #: directed port indices (order matters only for link-id stability)
+    _PORT_XP, _PORT_XN, _PORT_YP, _PORT_YN = 0, 1, 2, 3
+
+    def __init__(self, n_nodes: int) -> None:
+        self.n_nodes = n_nodes
+        self.width, self.height = mesh_dims(n_nodes)
+        #: one link id per (node, directed port)
+        self.n_links = 4 * n_nodes
+
+    def coords(self, node: int) -> tuple[int, int]:
+        """(x, y) position of a node."""
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"node {node} out of range")
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        """Node id at position (x, y)."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x}, {y}) outside {self.width}x{self.height}")
+        return y * self.width + x
+
+    def hops(self, a: int, b: int) -> int:
+        """Manhattan distance between two nodes."""
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    def route(self, a: int, b: int) -> tuple[int, ...]:
+        """Link ids occupied by a message from ``a`` to ``b`` (X then Y)."""
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        links = []
+        x, y = ax, ay
+        while x != bx:
+            port = self._PORT_XP if bx > x else self._PORT_XN
+            links.append(4 * self.node_at(x, y) + port)
+            x += 1 if bx > x else -1
+        while y != by:
+            port = self._PORT_YP if by > y else self._PORT_YN
+            links.append(4 * self.node_at(x, y) + port)
+            y += 1 if by > y else -1
+        return tuple(links)
+
+
+class CrossbarTopology:
+    """Ideal single-stage crossbar: one hop between any two distinct nodes.
+
+    The only contended resource is the destination's input port, so
+    ``route(a, b)`` occupies exactly one link — link ``b``.
+    """
+
+    name = "crossbar"
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        self.n_nodes = n_nodes
+        self.n_links = n_nodes
+
+    def hops(self, a: int, b: int) -> int:
+        for node in (a, b):
+            if not (0 <= node < self.n_nodes):
+                raise ValueError(f"node {node} out of range")
+        return 0 if a == b else 1
+
+    def route(self, a: int, b: int) -> tuple[int, ...]:
+        return () if a == b else (b,)
+
+
+def make_topology(name: str, n_nodes: int):
+    """Build a topology by its :class:`~repro.core.config.NetworkConfig` name."""
+    if name == "mesh":
+        return MeshTopology(n_nodes)
+    if name == "crossbar":
+        return CrossbarTopology(n_nodes)
+    raise ValueError(f"unknown topology {name!r}")

@@ -213,12 +213,14 @@ class Engine:
                                  merge=mean.merge / n, sync=mean.sync / n)
 
         per_cluster = getattr(memory, "counters", None)
+        stats_of = getattr(memory, "network_stats", None)
         return RunResult(
             execution_time=execution_time,
             breakdown=mean,
             per_processor=breakdowns,
             misses=memory.aggregate_counters(),
             per_cluster_misses=list(per_cluster) if per_cluster else [],
+            network=stats_of() if stats_of is not None else None,
         )
 
 

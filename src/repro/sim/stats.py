@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.metrics import MissCause, RunResult
+from ..core.metrics import MissCause, NetworkStats, RunResult
 
 __all__ = ["RunSummary", "summarize"]
 
@@ -34,6 +34,8 @@ class RunSummary:
     cold_misses: int
     coherence_misses: int
     capacity_misses: int
+    #: interconnect counters when a network model ran (else None)
+    network: NetworkStats | None = None
 
     def format(self) -> str:
         """Multi-line human-readable report."""
@@ -54,6 +56,16 @@ class RunSummary:
             f"{self.cold_misses:,} / {self.coherence_misses:,} / "
             f"{self.capacity_misses:,}",
         ]
+        net = self.network
+        if net is not None:
+            per = net.hops / net.messages if net.messages else 0.0
+            lines.append(
+                f"network              {net.messages:>14,} messages "
+                f"({per:.2f} hops each)")
+            lines.append(
+                f"  queue delay / peak link util"
+                f" {net.queue_delay_cycles:,} cyc / "
+                f"{net.peak_link_utilization:.3f}")
         return "\n".join(lines)
 
 
@@ -78,4 +90,5 @@ def summarize(result: RunResult) -> RunSummary:
         cold_misses=m.by_cause[MissCause.COLD],
         coherence_misses=m.by_cause[MissCause.COHERENCE],
         capacity_misses=m.by_cause[MissCause.CAPACITY],
+        network=result.network,
     )

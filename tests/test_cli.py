@@ -113,6 +113,43 @@ class TestParser:
         with pytest.raises(SystemExit):
             run_cli()
 
+    @pytest.mark.parametrize("argv", [
+        ["--jobs", "0", "run", "ocean"],
+        ["--jobs", "-2", "run", "ocean"],
+        ["--timeout", "0", "run", "ocean"],
+        ["--timeout", "-1.5", "run", "ocean"],
+    ], ids=["jobs-zero", "jobs-negative", "timeout-zero",
+            "timeout-negative"])
+    def test_nonpositive_resources_rejected(self, argv, capsys):
+        """Bad --jobs / --timeout die with a one-line parser error (exit
+        code 2), not a traceback from deep inside the executor."""
+        with pytest.raises(SystemExit) as exc:
+            run_cli(*argv)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "got" in err
+        assert "Traceback" not in err
+
+    def test_bad_network_load_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            run_cli(*BASE, "network", "ocean", "--loads", "0,1.5")
+        assert exc.value.code == 2
+
+
+class TestNetwork:
+    def test_network_smoke(self, capsys):
+        assert run_cli(*BASE, "--cluster-sizes", "1,2",
+                       "network", "ocean", "--loads", "0,0.6") == 0
+        out = capsys.readouterr().out
+        assert "calibration check" in out
+        assert "load 0.6" in out
+        assert "peak util" in out
+
+    def test_network_defaults_to_ocean(self, capsys):
+        assert run_cli(*BASE, "--cluster-sizes", "1,2",
+                       "network", "--loads", "0,0.3") == 0
+        assert "ocean" in capsys.readouterr().out
+
 
 class TestCompareAndTrace:
     def test_compare_organizations(self, capsys):

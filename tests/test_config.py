@@ -3,7 +3,8 @@
 import pytest
 
 from repro.core.config import (PAPER_CACHE_SIZES_KB, PAPER_CLUSTER_SIZES,
-                               LatencyModel, MachineConfig)
+                               PAPER_NETWORK_LOADS, LatencyModel,
+                               MachineConfig, NetworkConfig)
 
 
 class TestLatencyModelTable1:
@@ -43,6 +44,12 @@ class TestLatencyModelTable1:
     def test_requester_cannot_be_dirty_owner(self):
         with pytest.raises(ValueError):
             self.lm.miss_cycles(requester=0, home=1, dirty_owner=0)
+
+    def test_hit_latency_independent_of_table_order(self):
+        shuffled = LatencyModel(
+            hit_by_cluster_size=((8, 3), (1, 1), (4, 3), (2, 2)))
+        for size in (1, 2, 3, 4, 8, 64):
+            assert shuffled.hit_cycles(size) == self.lm.hit_cycles(size)
 
 
 class TestMachineConfig:
@@ -118,3 +125,44 @@ class TestMachineConfig:
             MachineConfig().cluster_of(64)
         with pytest.raises(ValueError):
             MachineConfig().processors_of(64)
+
+
+class TestNetworkConfig:
+    def test_defaults_are_flat_table(self):
+        net = NetworkConfig()
+        assert net.provider == "table"
+        assert net.topology == "mesh"
+        assert net.background_load == 0.0
+        assert net.contention is True
+
+    def test_paper_loads(self):
+        assert PAPER_NETWORK_LOADS == (0.0, 0.3, 0.6, 0.8)
+
+    def test_hop_cycles(self):
+        assert NetworkConfig(wire_cycles=2, router_cycles=3).hop_cycles == 5
+
+    def test_to_dict_lists_every_knob(self):
+        d = NetworkConfig().to_dict()
+        assert set(d) == {"provider", "topology", "wire_cycles",
+                          "router_cycles", "directory_cycles",
+                          "background_load", "contention"}
+
+    @pytest.mark.parametrize("kwargs", [
+        {"provider": "torus"},
+        {"topology": "ring"},
+        {"wire_cycles": 0, "router_cycles": 0},
+        {"wire_cycles": -1},
+        {"directory_cycles": 0},
+        {"background_load": -0.1},
+        {"background_load": 1.0},
+    ])
+    def test_validation_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            NetworkConfig(**kwargs)
+
+    def test_machine_config_with_network(self):
+        net = NetworkConfig(provider="mesh")
+        cfg = MachineConfig().with_network(net)
+        assert cfg.network == net
+        assert MachineConfig().network.provider == "table"
+        assert cfg.to_dict()["network"] == net.to_dict()

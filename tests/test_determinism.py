@@ -16,7 +16,7 @@ tree walks with RNG-placed bodies) — and finite/infinite caches.
 
 import pytest
 
-from repro.core.config import MachineConfig
+from repro.core.config import MachineConfig, NetworkConfig
 from repro.core.executor import PointSpec, SweepExecutor
 from repro.core.metrics import RunResult
 
@@ -114,3 +114,26 @@ def test_json_round_trip_of_live_results(serial_outcomes):
     for outcome in serial_outcomes:
         r = outcome.result
         assert RunResult.from_json(r.to_json()) == r
+
+
+def test_mesh_latency_is_deterministic_across_backends(tmp_path):
+    """The loaded-mesh provider (float queueing math, rounded into integer
+    cycles) must be as deterministic as the flat table: serial, process,
+    and cache round-trip all see the same bytes, network counters
+    included."""
+    from repro.core.resultcache import ResultCache
+
+    net = NetworkConfig(provider="mesh", background_load=0.6)
+    specs = [PointSpec.make("ocean", c, None, SAMPLE[0][1], network=net)
+             for c in (1, 2, 4)]
+    serial = SweepExecutor(backend="serial").run(specs, CFG)
+    process = SweepExecutor(backend="process", max_workers=2).run(specs, CFG)
+    cache = ResultCache(tmp_path)
+    SweepExecutor(cache=cache).run(specs, CFG)
+    cached = SweepExecutor(cache=cache).run(specs, CFG)
+    assert all(o.cached for o in cached)
+    for s, p, c in zip(serial, process, cached):
+        assert s.result.network is not None
+        assert s.result.network.queue_delay_cycles > 0
+        assert s.result.to_json() == p.result.to_json()
+        assert s.result.to_json() == c.result.to_json()
