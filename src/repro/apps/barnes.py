@@ -78,6 +78,8 @@ class BarnesApp(Application):
     """
 
     name = "barnes"
+    # dynamic task queue: streams depend on simulated lock order
+    stream_invariant = False
 
     def __init__(self, config: MachineConfig, n_particles: int = 2048,
                  theta: float = 1.0, n_steps: int = 2, dt: float = 0.01,

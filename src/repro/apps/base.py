@@ -30,7 +30,10 @@ Conventions shared by all applications:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.compiled import CompiledProgram
 
 import numpy as np
 
@@ -95,6 +98,16 @@ class Application(ABC):
     #: short registry name, set by subclasses
     name: str = "base"
 
+    #: whether the reference streams depend only on the machine's
+    #: :meth:`~repro.core.config.MachineConfig.trace_signature` (processor
+    #: count, line/page size).  The dynamic task-queue codes (Barnes,
+    #: Raytrace, Volrend) set this False: a lock-protected Python-side
+    #: counter decides which task each processor grabs, so their streams
+    #: depend on simulated timing — capture requires
+    #: :meth:`run_recorded`, and a capture is only valid for the exact
+    #: machine configuration that produced it.
+    stream_invariant: bool = True
+
     def __init__(self, config: MachineConfig, seed: int = 12345) -> None:
         self.config = config
         self.seed = seed
@@ -118,14 +131,77 @@ class Application(ABC):
             self.setup()
             self._setup_done = True
 
-    def run(self, read_hit_cycles: int = 1,
-            max_cycles: int | None = None) -> RunResult:
-        """Simulate this application on ``self.config`` and return the result."""
+    def compiled_program(self, fuse_work: bool = True) -> "CompiledProgram":
+        """Capture this application's operation streams once, for replay.
+
+        Drains :meth:`program` for every processor into a
+        :class:`~repro.sim.compiled.CompiledProgram` (flat arrays, line
+        numbers pre-divided, consecutive WORK ops fused).  The capture is
+        valid for any machine sharing this config's
+        :meth:`~repro.core.config.MachineConfig.trace_signature` — cluster
+        size, cache sizing, and the network model may all differ.
+
+        Only available when :attr:`stream_invariant` holds; the dynamic
+        task-queue applications must capture with :meth:`run_recorded`
+        instead (their streams depend on simulated timing, which a static
+        drain cannot know).
+        """
+        from ..sim.compiled import compile_program
+
+        if not self.stream_invariant:
+            raise ValueError(
+                f"{self.name} streams depend on simulated timing "
+                f"(stream_invariant=False); capture with run_recorded()")
+        self.ensure_setup()
+        return compile_program(self.program, self.config.n_processors,
+                               self.config.line_size, fuse_work=fuse_work)
+
+    def run_recorded(self, read_hit_cycles: int = 1,
+                     max_cycles: int | None = None,
+                     fuse_work: bool = True,
+                     ) -> "tuple[RunResult, CompiledProgram]":
+        """Generator-path run that also captures the executed streams.
+
+        Works for every application — including the dynamic task-queue
+        codes — because the capture *is* the executed interleaving.
+        Replaying the returned program on an identically-configured
+        machine is bit-identical to the returned result; for
+        :attr:`stream_invariant` apps the capture is additionally valid
+        across cluster/cache/network variations, like
+        :meth:`compiled_program`'s.
+        """
+        from ..sim.compiled import ProgramRecorder
+
         self.ensure_setup()
         memory = CoherentMemorySystem(self.config, self.allocator)
         engine = Engine(self.config, memory,
                         read_hit_cycles=read_hit_cycles,
                         max_cycles=max_cycles)
+        recorder = ProgramRecorder(self.program, self.config.n_processors,
+                                   self.config.line_size,
+                                   fuse_work=fuse_work)
+        result = engine.run(recorder.factory)
+        return result, recorder.finish()
+
+    def run(self, read_hit_cycles: int = 1,
+            max_cycles: int | None = None,
+            program: "CompiledProgram | None" = None) -> RunResult:
+        """Simulate this application on ``self.config`` and return the result.
+
+        With ``program`` (a :class:`~repro.sim.compiled.CompiledProgram`,
+        typically from :meth:`compiled_program` or a trace cache), the
+        engine replays the capture instead of re-driving the generators —
+        bit-identical, much faster.  Setup still runs either way: data
+        *placement* depends on cluster geometry even though the operation
+        streams do not.
+        """
+        self.ensure_setup()
+        memory = CoherentMemorySystem(self.config, self.allocator)
+        engine = Engine(self.config, memory,
+                        read_hit_cycles=read_hit_cycles,
+                        max_cycles=max_cycles)
+        if program is not None:
+            return engine.run_compiled(program)
         return engine.run(self.program)
 
     # ---------------------------------------------------------- rng helpers

@@ -66,6 +66,8 @@ class RaytraceApp(Application):
     """
 
     name = "raytrace"
+    # dynamic task queue: streams depend on simulated lock order
+    stream_invariant = False
 
     def __init__(self, config: MachineConfig, width: int = 96,
                  height: int = 96, n_spheres: int = 160, max_depth: int = 3,

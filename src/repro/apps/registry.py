@@ -22,7 +22,8 @@ from .radix import RadixApp
 from .raytrace import RaytraceApp
 from .volrend import VolrendApp
 
-__all__ = ["APP_NAMES", "PAPER_PROBLEM_SIZES", "build_app", "app_class"]
+__all__ = ["APP_NAMES", "PAPER_PROBLEM_SIZES", "QUICK_PROBLEM_SIZES",
+           "build_app", "app_class"]
 
 _CLASSES: dict[str, type[Application]] = {
     "barnes": BarnesApp,
@@ -54,6 +55,21 @@ PAPER_PROBLEM_SIZES: dict[str, dict[str, Any]] = {
     "radix": {"n_keys": 262144, "radix": 256},
     "raytrace": {"width": 64, "height": 64, "n_spheres": 64},
     "volrend": {"volume_side": 64, "width": 64, "height": 64},
+}
+
+#: reduced problem sizes for ``--quick`` runs and the bench harness
+#: (~10× fewer cycles than the defaults; shared by the CLI, benchmarks,
+#: and the perf smoke tests so they all measure the same workloads)
+QUICK_PROBLEM_SIZES: dict[str, dict[str, Any]] = {
+    "barnes": {"n_particles": 512, "n_steps": 1},
+    "fft": {"n_points": 16384},
+    "fmm": {"n_particles": 512, "levels": 3, "n_steps": 1},
+    "lu": {"n": 128, "block": 16},
+    "mp3d": {"n_particles": 8000, "n_steps": 2},
+    "ocean": {"n": 64, "n_vcycles": 1},
+    "radix": {"n_keys": 32768, "radix": 128},
+    "raytrace": {"width": 32, "height": 32, "n_spheres": 32},
+    "volrend": {"volume_side": 32, "width": 32, "height": 32},
 }
 
 

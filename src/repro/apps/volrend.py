@@ -51,6 +51,8 @@ class VolrendApp(Application):
     """
 
     name = "volrend"
+    # dynamic task queue: streams depend on simulated lock order
+    stream_invariant = False
 
     def __init__(self, config: MachineConfig, volume_side: int = 128,
                  width: int = 64, height: int = 64, block: int = 4,

@@ -40,31 +40,22 @@ from .analysis import (contention_slowdown, figure_from_capacity_sweep,
                        miss_breakdown, render_ascii, render_cost_table,
                        render_miss_breakdown, render_rows, render_slowdown,
                        render_table1, render_table4, render_table5)
-from .apps.registry import APP_NAMES, PAPER_PROBLEM_SIZES
+from .apps.registry import (APP_NAMES, PAPER_PROBLEM_SIZES,
+                            QUICK_PROBLEM_SIZES)
 from .core.config import (PAPER_CACHE_SIZES_KB, PAPER_CLUSTER_SIZES,
                           PAPER_NETWORK_LOADS, MachineConfig)
 from .core.contention import (PAPER_TABLE5, ExpansionTable,
                               LoadLatencyProfiler, SharedCacheCostModel)
 from .core.executor import SweepExecutionError, SweepExecutor
-from .core.resultcache import ResultCache
+from .core.resultcache import ResultCache, TraceStore
 from .core.study import ClusteringStudy
 from .core.workingset import knee_of, working_set_curve
+from .sim.compiled import TraceCache
 from .sim.stats import summarize
 
 __all__ = ["main", "QUICK_PROBLEM_SIZES"]
-
-#: reduced problem sizes for --quick runs
-QUICK_PROBLEM_SIZES: dict[str, dict[str, Any]] = {
-    "barnes": {"n_particles": 512, "n_steps": 1},
-    "fft": {"n_points": 16384},
-    "fmm": {"n_particles": 512, "levels": 3, "n_steps": 1},
-    "lu": {"n": 128, "block": 16},
-    "mp3d": {"n_particles": 8000, "n_steps": 2},
-    "ocean": {"n": 64, "n_vcycles": 1},
-    "radix": {"n_keys": 32768, "radix": 128},
-    "raytrace": {"width": 32, "height": 32, "n_spheres": 32},
-    "volrend": {"volume_side": 32, "width": 32, "height": 32},
-}
+# QUICK_PROBLEM_SIZES now lives in apps.registry (imported above and
+# re-exported here for existing callers)
 
 #: figure number -> application of the paper's finite-capacity figures
 CAPACITY_FIGURES = {4: "raytrace", 5: "mp3d", 6: "barnes", 7: "fmm",
@@ -88,11 +79,16 @@ def _executor(args: argparse.Namespace) -> SweepExecutor:
     executor = getattr(args, "_executor", None)
     if executor is None:
         cache = None if args.no_cache else ResultCache(args.cache_dir)
+        # compiled traces: always at least the in-process LRU; the disk
+        # tier (shared with --jobs workers and later invocations) follows
+        # the result cache's location and --no-cache switch
+        store = None if args.no_cache else TraceStore(args.cache_dir)
         jobs = args.jobs or 1
         executor = SweepExecutor(
             backend="process" if jobs > 1 else "serial",
             max_workers=jobs if jobs > 1 else None,
-            timeout=args.timeout, cache=cache)
+            timeout=args.timeout, cache=cache,
+            trace_cache=TraceCache(store))
         args._executor = executor
     return executor
 
@@ -379,6 +375,63 @@ def cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Engine throughput + sweep wall-clock benchmark (BENCH_engine.json)."""
+    import json
+    from pathlib import Path
+
+    from .core.bench import (bench_engine, bench_sweep, check_floor,
+                             write_report)
+
+    apps = list(args.apps or APP_NAMES)
+    config = _base_config(args)
+    kwargs_of = {a: _app_kwargs(a, args) for a in apps}
+    t0 = time.time()
+
+    print(f"# engine throughput ({config.n_processors} processors)")
+    print(f"{'app':>9} {'ops':>11} {'legacy ops/s':>12} {'replay ops/s':>13} "
+          f"{'speedup':>8}")
+    rows = []
+    for a in apps:
+        r = bench_engine(a, config, kwargs_of[a], repeats=args.repeats)
+        rows.append(r)
+        print(f"{a:>9} {r.source_ops:>11,} {r.legacy_ops_per_s:>12,.0f} "
+              f"{r.replay_ops_per_s:>13,.0f} {r.replay_speedup:>7.2f}x",
+              flush=True)
+
+    sweep = None
+    if not args.no_sweep:
+        sweep = bench_sweep(apps, config, args.cluster_sizes,
+                            kwargs_of=kwargs_of)
+        print(f"\n# sweep wall-clock ({sweep.n_points} points, "
+              f"clusters {args.cluster_sizes})")
+        print(f"  legacy engine {sweep.legacy_s:>8.2f}s")
+        print(f"  fast path     {sweep.generator_s:>8.2f}s")
+        print(f"  compiled cold {sweep.cold_s:>8.2f}s "
+              f"({sweep.cold_speedup:.2f}x)")
+        print(f"  compiled warm {sweep.warm_s:>8.2f}s "
+              f"({sweep.warm_speedup:.2f}x)")
+        if not sweep.identical:
+            print("ERROR: execution modes produced different results",
+                  file=sys.stderr)
+            return 1
+
+    write_report(args.output, rows, sweep, config)
+    print(f"\nwrote {args.output}  [{time.time() - t0:.1f}s]")
+
+    if args.floor:
+        floor = json.loads(Path(args.floor).read_text(encoding="utf-8"))
+        failures = check_floor(rows, floor, args.floor_tolerance)
+        if failures:
+            for line in failures:
+                print(f"FLOOR REGRESSION: {line}", file=sys.stderr)
+            return 1
+        covered = sorted(set(floor) & {r.app for r in rows})
+        print(f"floor check passed for {', '.join(covered) or 'no apps'} "
+              f"(tolerance {args.floor_tolerance:.0%})")
+    return 0
+
+
 def _add_global_options(p: argparse.ArgumentParser, *,
                         suppress: bool = False) -> None:
     """The option set shared by the driver and every subcommand.
@@ -504,6 +557,25 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--cache", default="inf")
     sp.add_argument("--output", help="save the trace to this .npz file")
     sp.set_defaults(func=cmd_trace)
+
+    sp = add_command("bench",
+                     help="engine throughput + sweep wall-clock benchmark")
+    sp.add_argument("--apps", nargs="+", choices=APP_NAMES, metavar="APP",
+                    help="applications to bench (default: all nine)")
+    sp.add_argument("--output", default="BENCH_engine.json", metavar="JSON",
+                    help="report path (default BENCH_engine.json)")
+    sp.add_argument("--repeats", type=_positive_int, default=1, metavar="N",
+                    help="timed runs per path; the fastest is kept")
+    sp.add_argument("--no-sweep", action="store_true",
+                    help="skip the end-to-end sweep timing (engine "
+                    "throughput only; much faster)")
+    sp.add_argument("--floor", metavar="JSON",
+                    help="floor file mapping app -> min replay ops/s; "
+                    "exit 1 on regression (see benchmarks/perf/floor.json)")
+    sp.add_argument("--floor-tolerance", type=float, default=0.30,
+                    metavar="FRAC",
+                    help="allowed shortfall below the floor (default 0.30)")
+    sp.set_defaults(func=cmd_bench)
     return p
 
 
@@ -519,6 +591,10 @@ def main(argv: list[str] | None = None) -> int:
         cache = executor.cache
         print(f"[result cache: {cache.stats()} — {cache.directory}]",
               file=sys.stderr)
+    if executor is not None and executor.trace_cache is not None:
+        tc = executor.trace_cache
+        if tc.hits or tc.misses:
+            print(f"[trace cache: {tc.stats()}]", file=sys.stderr)
     return rc
 
 

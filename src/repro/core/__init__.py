@@ -13,11 +13,12 @@ __all__ = [
     "MissKind", "MissCause", "MissCounters", "TimeBreakdown", "RunResult",
     "ClusteringStudy", "SweepPoint", "normalize_sweep", "cache_label",
     "SweepExecutor", "PointSpec", "PointOutcome", "SweepExecutionError",
-    "ResultCache",
+    "ResultCache", "TraceStore",
     "SharedCacheCostModel", "LoadLatencyProfiler", "ExpansionTable",
     "bank_conflict_probability", "banks_for_cluster", "conflict_table",
     "PAPER_TABLE5",
     "working_set_curve", "knee_of", "overlap_benefit", "WorkingSetCurve",
+    "residency_profile", "occupancy_skew",
     "ScalingCurve", "ScalingPoint", "scaling_curve", "effective_processors",
     "pushout",
 ]
@@ -27,9 +28,10 @@ from .contention import (PAPER_TABLE5, ExpansionTable, LoadLatencyProfiler,
                          banks_for_cluster, conflict_table)
 from .executor import (PointOutcome, PointSpec, SweepExecutionError,
                        SweepExecutor)
-from .resultcache import ResultCache
+from .resultcache import ResultCache, TraceStore
 from .scaling import (ScalingCurve, ScalingPoint, effective_processors,
                       pushout, scaling_curve)
 from .study import ClusteringStudy, SweepPoint, cache_label, normalize_sweep
-from .workingset import (WorkingSetCurve, knee_of, overlap_benefit,
+from .workingset import (WorkingSetCurve, knee_of, occupancy_skew,
+                         overlap_benefit, residency_profile,
                          working_set_curve)

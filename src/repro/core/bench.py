@@ -1,0 +1,295 @@
+"""Engine throughput and sweep benchmarking (``repro-clustering bench``).
+
+Two measurements, both written to ``BENCH_engine.json``:
+
+* **Engine throughput** (:func:`bench_engine`) — simulated operations per
+  second for one application on one machine, along three paths: the
+  legacy engine path (generator execution, heap fast path off — the
+  closest in-tree stand-in for the pre-optimization engine), the current
+  generator path (heap fast path on), and compiled-trace replay.  The
+  replay/legacy ratio is the per-run speedup of this package's
+  compiled-trace layer.
+* **End-to-end sweep** (:func:`bench_sweep`) — wall-clock for an
+  apps × cluster-sizes grid in four modes: ``legacy`` (fast path off),
+  ``generator`` (fast path only), ``cold`` (compiled execution, empty
+  trace cache) and ``warm`` (trace cache pre-populated).  ``cold`` pays
+  one capture per app; ``warm`` replays everything.
+
+Note the in-tree ``legacy`` mode still benefits from shared-path work
+(coherence inlining, scheduling-loop restructure), so replay/legacy
+ratios *understate* the speedup over historical releases; cross-version
+comparisons belong in the ``extra`` section of the report.
+
+The JSON layout is stable (``schema`` key) so CI can diff runs; the
+:func:`check_floor` helper enforces a checked-in throughput floor
+(``benchmarks/perf/floor.json``) with a relative tolerance, which is what
+the CI bench smoke step fails on.
+
+Timing uses ``time.perf_counter`` around complete engine runs; problem
+setup (allocation, placement, input generation) is excluded from the
+per-engine numbers but *included* in the sweep numbers — a sweep user
+waits for setup too.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from .config import MachineConfig
+from .executor import PointSpec, evaluate_point
+
+__all__ = ["AppBenchResult", "SweepBenchResult", "bench_engine",
+           "bench_sweep", "check_floor", "write_report", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class AppBenchResult:
+    """Engine throughput for one application on one machine."""
+
+    app: str
+    n_processors: int
+    cluster_size: int
+    #: operations the generators yield (pre-fusion; the engine-visible work)
+    source_ops: int
+    #: operations stored after WORK fusion
+    stored_ops: int
+    #: seconds for one legacy-path run (generators, no heap fast path)
+    legacy_s: float
+    #: seconds for one generator run with the heap fast path
+    generator_s: float
+    #: seconds for one compiled-trace replay
+    replay_s: float
+    #: seconds to capture the trace (drain or recorded run)
+    capture_s: float
+
+    @property
+    def legacy_ops_per_s(self) -> float:
+        return self.source_ops / self.legacy_s if self.legacy_s else 0.0
+
+    @property
+    def generator_ops_per_s(self) -> float:
+        return self.source_ops / self.generator_s if self.generator_s else 0.0
+
+    @property
+    def replay_ops_per_s(self) -> float:
+        return self.source_ops / self.replay_s if self.replay_s else 0.0
+
+    @property
+    def replay_speedup(self) -> float:
+        """Replay time improvement over the legacy (fast-path-off) run."""
+        return self.legacy_s / self.replay_s if self.replay_s else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        out = asdict(self)
+        out.update(
+            legacy_ops_per_s=round(self.legacy_ops_per_s, 1),
+            generator_ops_per_s=round(self.generator_ops_per_s, 1),
+            replay_ops_per_s=round(self.replay_ops_per_s, 1),
+            replay_speedup=round(self.replay_speedup, 3),
+        )
+        return out
+
+
+@dataclass
+class SweepBenchResult:
+    """End-to-end wall-clock of one sweep grid in every execution mode."""
+
+    apps: list[str]
+    cluster_sizes: list[int]
+    cache_kb: float | None
+    n_points: int
+    legacy_s: float
+    generator_s: float
+    cold_s: float
+    warm_s: float
+    identical: bool = True  # every mode produced byte-identical results
+
+    @property
+    def cold_speedup(self) -> float:
+        return self.legacy_s / self.cold_s if self.cold_s else 0.0
+
+    @property
+    def warm_speedup(self) -> float:
+        return self.legacy_s / self.warm_s if self.warm_s else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        out = asdict(self)
+        out.update(cold_speedup=round(self.cold_speedup, 3),
+                   warm_speedup=round(self.warm_speedup, 3))
+        return out
+
+
+def _fresh_engine(app, heap_fast_path: bool):
+    from ..memory.coherence import CoherentMemorySystem
+    from ..sim.engine import Engine
+
+    memory = CoherentMemorySystem(app.config, app.allocator)
+    return Engine(app.config, memory, heap_fast_path=heap_fast_path)
+
+
+def bench_engine(app_name: str, config: MachineConfig,
+                 app_kwargs: Mapping[str, Any] | None = None,
+                 repeats: int = 1) -> AppBenchResult:
+    """Measure one application's engine throughput along all three paths.
+
+    ``repeats`` > 1 re-runs each path and keeps the *fastest* time (the
+    usual microbenchmark convention — slower samples are scheduler noise).
+    """
+    from ..apps.registry import build_app
+
+    kwargs = dict(app_kwargs or {})
+
+    def fresh_app():
+        # a new instance per run: some apps (e.g. barnes' cell pool) consume
+        # internal state as program() executes, so instances are single-shot
+        app = build_app(app_name, config, **kwargs)
+        app.ensure_setup()
+        return app
+
+    app = fresh_app()
+    t0 = time.perf_counter()
+    if app.stream_invariant:
+        program = app.compiled_program()
+    else:
+        _, program = app.run_recorded()
+    capture_s = time.perf_counter() - t0
+
+    def best(run) -> float:
+        times = []
+        for _ in range(max(1, repeats)):
+            a = fresh_app()
+            t0 = time.perf_counter()
+            run(a)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    legacy_s = best(lambda a: _fresh_engine(a, False).run(a.program))
+    generator_s = best(lambda a: _fresh_engine(a, True).run(a.program))
+    replay_s = best(lambda a: _fresh_engine(a, True).run_compiled(program))
+
+    return AppBenchResult(
+        app=app_name,
+        n_processors=config.n_processors,
+        cluster_size=config.cluster_size,
+        source_ops=program.source_ops,
+        stored_ops=program.total_ops,
+        legacy_s=legacy_s,
+        generator_s=generator_s,
+        replay_s=replay_s,
+        capture_s=capture_s,
+    )
+
+
+def bench_sweep(apps: Sequence[str], config: MachineConfig,
+                cluster_sizes: Iterable[int] = (1, 2, 4, 8),
+                cache_kb: float | None = 4.0,
+                kwargs_of: Mapping[str, Mapping[str, Any]] | None = None,
+                ) -> SweepBenchResult:
+    """Time an apps × cluster-sizes grid in all four execution modes.
+
+    The grid is evaluated serially (one process) so mode comparisons
+    measure the execution layer, not pool scheduling.  Every mode's
+    results are compared byte-for-byte; ``identical=False`` in the result
+    marks a correctness failure (and should never happen).
+    """
+    from ..apps.registry import build_app
+    from ..memory.coherence import CoherentMemorySystem
+    from ..sim.engine import Engine
+    from ..sim.compiled import TraceCache, clear_memory_cache
+
+    kwargs_of = kwargs_of or {}
+    cluster_sizes = list(cluster_sizes)
+    specs = [PointSpec.make(app, cs, cache_kb, dict(kwargs_of.get(app, {})))
+             for app in apps for cs in cluster_sizes]
+
+    def run_legacy(spec: PointSpec):
+        app = build_app(spec.app, spec.config_for(config), **spec.kwargs)
+        app.ensure_setup()
+        memory = CoherentMemorySystem(app.config, app.allocator)
+        return Engine(app.config, memory, heap_fast_path=False).run(
+            app.program)
+
+    t0 = time.perf_counter()
+    reference = [run_legacy(s).to_json() for s in specs]
+    legacy_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    generator = [evaluate_point(s, config, use_compiled=False).to_json()
+                 for s in specs]
+    generator_s = time.perf_counter() - t0
+
+    clear_memory_cache()
+    cache = TraceCache()
+    t0 = time.perf_counter()
+    cold = [evaluate_point(s, config, trace_cache=cache).to_json()
+            for s in specs]
+    cold_s = time.perf_counter() - t0
+
+    # same cache, now fully populated: the steady state of a repeated sweep
+    t0 = time.perf_counter()
+    warm = [evaluate_point(s, config, trace_cache=cache).to_json()
+            for s in specs]
+    warm_s = time.perf_counter() - t0
+
+    identical = reference == generator == cold == warm
+    return SweepBenchResult(
+        apps=list(apps), cluster_sizes=cluster_sizes, cache_kb=cache_kb,
+        n_points=len(specs), legacy_s=legacy_s, generator_s=generator_s,
+        cold_s=cold_s, warm_s=warm_s, identical=identical,
+    )
+
+
+def write_report(path: str | Path,
+                 engine: Sequence[AppBenchResult],
+                 sweep: SweepBenchResult | None = None,
+                 config: MachineConfig | None = None,
+                 extra: Mapping[str, Any] | None = None) -> dict[str, Any]:
+    """Assemble and write ``BENCH_engine.json``; returns the payload."""
+    payload: dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "engine": {r.app: r.to_dict() for r in engine},
+    }
+    if config is not None:
+        payload["config"] = config.to_dict()
+    if sweep is not None:
+        payload["sweep"] = sweep.to_dict()
+    if extra:
+        payload.update(extra)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return payload
+
+
+def check_floor(engine: Sequence[AppBenchResult],
+                floor: Mapping[str, float],
+                tolerance: float = 0.30) -> list[str]:
+    """Compare replay throughput against a checked-in floor.
+
+    ``floor`` maps app name → minimum acceptable replay ops/sec; a
+    measurement below ``floor * (1 - tolerance)`` is a regression.
+    Returns human-readable failure lines (empty = all good).  Apps absent
+    from the floor are ignored, so the floor file can cover a subset.
+    """
+    if not (0.0 <= tolerance < 1.0):
+        raise ValueError("tolerance must be in [0, 1)")
+    failures = []
+    for r in engine:
+        want = floor.get(r.app)
+        if want is None:
+            continue
+        limit = want * (1.0 - tolerance)
+        got = r.replay_ops_per_s
+        if got < limit:
+            failures.append(
+                f"{r.app}: replay throughput {got:,.0f} ops/s is below "
+                f"floor {want:,.0f} - {tolerance:.0%} = {limit:,.0f}")
+    return failures

@@ -317,6 +317,24 @@ class MachineConfig:
         """Copy of this config with a different interconnect model."""
         return replace(self, network=network)
 
+    def trace_signature(self) -> dict:
+        """The machine fields the *reference stream* depends on.
+
+        Applications consult the machine only for processor count (SPMD
+        partitioning), line size (span emission granularity), and page size
+        (region rounding) when generating their operation streams; cluster
+        size, cache sizing, latencies, and the network model affect *timing
+        and placement*, never the streams themselves.  The compiled-trace
+        cache (:mod:`repro.sim.compiled`) keys on exactly this dict, which
+        is what lets one captured trace replay across an entire
+        clustering × cache-size sweep.
+        """
+        return {
+            "n_processors": self.n_processors,
+            "line_size": self.line_size,
+            "page_size": self.page_size,
+        }
+
     def to_dict(self) -> dict:
         """JSON-stable representation of the *complete* machine description.
 

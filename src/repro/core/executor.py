@@ -24,6 +24,14 @@ Guarantees:
   :class:`~repro.core.resultcache.ResultCache` attached, finished points
   are served from disk and fresh points are written back, keyed by content
   hash of (version, app, kwargs, full machine config).
+* **Trace reuse** — points are evaluated through the compiled-trace layer
+  (:mod:`repro.sim.compiled`) by default: the app's reference stream is
+  captured once per (app, kwargs, seed, processor-count/line-size) and
+  replayed at every other point of the grid — cluster size, cache size,
+  and network model do not invalidate it.  Replay is bit-identical to
+  generator execution.  The in-memory tier is process-wide; attach a
+  :class:`~repro.core.resultcache.TraceStore`-backed cache to share traces
+  across ``--jobs`` worker processes and CLI invocations via disk.
 """
 
 from __future__ import annotations
@@ -34,11 +42,14 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
 from .config import MachineConfig, NetworkConfig
 from .metrics import RunResult
 from .resultcache import ResultCache
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.compiled import TraceCache
 
 __all__ = ["BACKENDS", "PointSpec", "PointOutcome", "SweepExecutor",
            "SweepExecutionError", "as_point_spec", "evaluate_point",
@@ -146,22 +157,51 @@ class SweepExecutionError(RuntimeError):
         super().__init__("\n".join(lines))
 
 
-def evaluate_point(spec: PointSpec, base_config: MachineConfig) -> RunResult:
+def evaluate_point(spec: PointSpec, base_config: MachineConfig,
+                   trace_cache: "TraceCache | None" = None,
+                   use_compiled: bool = True) -> RunResult:
     """Run one point to completion (the process-pool worker function).
 
     Builds a fresh application instance so every configuration solves the
-    identical, deterministically-seeded problem.
+    identical, deterministically-seeded problem.  With ``use_compiled``
+    (the default) the reference stream is captured into a
+    :class:`~repro.sim.compiled.CompiledProgram` and replayed — served from
+    ``trace_cache`` when one is attached, so grid neighbours sharing the
+    same stream skip generation entirely.  Setup always runs: data
+    placement depends on cluster geometry even though the stream does not.
     """
     from ..apps.registry import build_app  # deferred: avoids import cycle
 
-    app = build_app(spec.app, spec.config_for(base_config), **spec.kwargs)
-    return app.run()
+    config = spec.config_for(base_config)
+    app = build_app(spec.app, config, **spec.kwargs)
+    if not use_compiled:
+        return app.run()
+    from ..sim.compiled import trace_key  # deferred: avoids import cycle
+
+    key = trace_key(spec.app, spec.kwargs, config, app.seed,
+                    stream_invariant=app.stream_invariant)
+    program = trace_cache.get(key) if trace_cache is not None else None
+    if program is not None:
+        return app.run(program=program)
+    if app.stream_invariant:
+        program = app.compiled_program()
+        if trace_cache is not None:
+            trace_cache.put(key, program)
+        return app.run(program=program)
+    # dynamic task-queue app: the stream is decided by the run itself, so
+    # capture during generator execution; the capture replays bit-identically
+    # at this exact configuration only (the key covers the full config)
+    result, program = app.run_recorded()
+    if trace_cache is not None:
+        trace_cache.put(key, program)
+    return result
 
 
-def _evaluate_timed(spec: PointSpec,
-                    base_config: MachineConfig) -> tuple[RunResult, float]:
+def _evaluate_timed(spec: PointSpec, base_config: MachineConfig,
+                    trace_cache: "TraceCache | None" = None,
+                    use_compiled: bool = True) -> tuple[RunResult, float]:
     t0 = time.perf_counter()
-    result = evaluate_point(spec, base_config)
+    result = evaluate_point(spec, base_config, trace_cache, use_compiled)
     return result, time.perf_counter() - t0
 
 
@@ -192,12 +232,25 @@ class SweepExecutor:
     cache:
         Optional :class:`ResultCache`.  ``None`` disables both reads and
         writes (the CLI's ``--no-cache``).
+    trace_cache:
+        Compiled-trace cache (:class:`~repro.sim.compiled.TraceCache`).
+        ``None`` (the default) builds an LRU-only cache — traces are
+        reused within the process but not persisted; pass a
+        :class:`~repro.core.resultcache.TraceStore`-backed cache to share
+        across processes and invocations.  Ignored when ``use_compiled``
+        is off.
+    use_compiled:
+        Evaluate points by compiled-trace replay (default).  Off = drive
+        the generators directly on every point, the historical behaviour
+        (bit-identical, only slower).
     """
 
     backend: str = "serial"
     max_workers: int | None = None
     timeout: float | None = None
     cache: ResultCache | None = field(default=None, repr=False)
+    trace_cache: "TraceCache | None" = field(default=None, repr=False)
+    use_compiled: bool = True
     # the process pool outlives individual run() calls: worker startup
     # (interpreter + numpy import) costs ~1s, which would otherwise be
     # paid again by every figure's sweep in a multi-figure command
@@ -212,6 +265,10 @@ class SweepExecutor:
             raise ValueError("max_workers must be positive or None")
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError("timeout must be positive or None")
+        if self.use_compiled and self.trace_cache is None:
+            from ..sim.compiled import TraceCache  # deferred: import cycle
+
+            self.trace_cache = TraceCache()
 
     # ------------------------------------------------------------------ API
     def run(self, specs: Iterable[Any],
@@ -269,11 +326,11 @@ class SweepExecutor:
         return outcome
 
     # ------------------------------------------------------------- backends
-    @staticmethod
-    def _evaluate_isolated(spec: PointSpec,
+    def _evaluate_isolated(self, spec: PointSpec,
                            base: MachineConfig) -> PointOutcome:
         try:
-            result, elapsed = _evaluate_timed(spec, base)
+            result, elapsed = _evaluate_timed(spec, base, self.trace_cache,
+                                              self.use_compiled)
         except Exception:
             return PointOutcome(spec, error=traceback.format_exc())
         return PointOutcome(spec, result=result, elapsed=elapsed)
@@ -305,7 +362,11 @@ class SweepExecutor:
                      base: MachineConfig,
                      outcomes: list[PointOutcome | None]) -> None:
         pool = self._process_pool()
-        futures = {i: pool.submit(_evaluate_timed, specs[i], base)
+        # the TraceCache pickles cheaply (the LRU is module state, the
+        # store carries only a path); each worker re-hydrates its own
+        # in-memory tier and shares compilations with siblings via disk
+        futures = {i: pool.submit(_evaluate_timed, specs[i], base,
+                                  self.trace_cache, self.use_compiled)
                    for i in pending}
         for i, future in futures.items():
             try:

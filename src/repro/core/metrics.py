@@ -46,6 +46,11 @@ class MissKind(Enum):
     UPGRADE = "upgrade"  #: write access, line present but SHARED
     MERGE = "merge"      #: read to a line with an outstanding fill
 
+    # members are singletons compared by identity, so the id-based C-level
+    # hash is consistent with equality and avoids Enum.__hash__'s Python
+    # frame on every by-kind dict access
+    __hash__ = object.__hash__
+
 
 class MissCause(Enum):
     """Cause-level miss taxonomy used in the paper's analysis (§2)."""
@@ -53,6 +58,9 @@ class MissCause(Enum):
     COLD = "cold"            #: first access to the line by this cluster
     COHERENCE = "coherence"  #: line previously invalidated out of the cluster
     CAPACITY = "capacity"    #: line previously replaced (finite caches only)
+
+    # hot: ``by_cause[cause] += 1`` runs once per miss — see MissKind
+    __hash__ = object.__hash__
 
 
 @dataclass

@@ -1,4 +1,4 @@
-"""Persistent on-disk cache of simulation results.
+"""Persistent on-disk caches: simulation results and compiled traces.
 
 Every sweep point the paper needs is a pure function of (package version,
 application name, application kwargs, full :class:`MachineConfig`) — the
@@ -6,6 +6,12 @@ simulator is deterministic by construction — so finished points can be
 memoized across processes and across invocations.  :class:`ResultCache`
 stores each :class:`~repro.core.metrics.RunResult` as one JSON file named
 by a SHA-256 content hash of exactly those inputs.
+
+:class:`TraceStore` is the binary sibling used by the compiled-trace layer
+(:mod:`repro.sim.compiled`): an opaque content-addressed blob store living
+in a ``traces/`` subdirectory of the same cache root, with the same
+location resolution, atomic writes, and corruption-degrades-to-miss
+robustness rules.
 
 Location resolution (first match wins):
 
@@ -38,7 +44,8 @@ from typing import Any, Mapping
 from .config import MachineConfig
 from .metrics import RunResult
 
-__all__ = ["ENV_CACHE_DIR", "ResultCache", "default_cache_dir", "point_key"]
+__all__ = ["ENV_CACHE_DIR", "ResultCache", "TraceStore", "default_cache_dir",
+           "point_key"]
 
 #: environment variable overriding the cache directory
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
@@ -50,6 +57,26 @@ def default_cache_dir() -> Path:
     """Cache directory honouring ``REPRO_CACHE_DIR``."""
     env = os.environ.get(ENV_CACHE_DIR)
     return Path(env if env else _DEFAULT_DIR).expanduser()
+
+
+def _atomic_write(directory: Path, path: Path, data: bytes) -> None:
+    """Atomically persist ``data`` at ``path`` (temp file + ``os.replace``).
+
+    Storage failures (read-only filesystem, disk full) are swallowed: a
+    cache that cannot write behaves like a cache that forgets.
+    """
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+    except OSError:
+        pass
 
 
 def _package_version() -> str:
@@ -129,18 +156,8 @@ class ResultCache:
         """
         payload = {"key": key, "result": result.to_dict()}
         text = json.dumps(payload, sort_keys=True)
-        try:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                    fh.write(text)
-                os.replace(tmp, self.path_for(key))
-            finally:
-                if os.path.exists(tmp):
-                    os.unlink(tmp)
-        except OSError:
-            pass
+        _atomic_write(self.directory, self.path_for(key),
+                      text.encode("utf-8"))
 
     # ------------------------------------------------------------- plumbing
     def __contains__(self, key: str) -> bool:
@@ -169,4 +186,80 @@ class ResultCache:
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"ResultCache({str(self.directory)!r}, hits={self.hits}, "
+                f"misses={self.misses})")
+
+
+class TraceStore:
+    """Content-addressed store of opaque binary blobs (compiled traces).
+
+    Lives in a subdirectory of the cache root so ``ResultCache`` JSON
+    entries and trace blobs never collide and can be cleared independently.
+    Decoding is the caller's business (:mod:`repro.sim.compiled` adds a
+    checksum and treats undecodable blobs as misses); this class only
+    guarantees the same robustness rules as :class:`ResultCache` — reads
+    never raise, writes are atomic, storage failures are swallowed.
+
+    Parameters
+    ----------
+    directory:
+        Cache **root**; ``None`` resolves via :func:`default_cache_dir`.
+        Blobs live under ``<root>/<subdir>/``.
+    subdir:
+        Subdirectory name (default ``"traces"``).
+    """
+
+    SUFFIX = ".trace"
+
+    def __init__(self, directory: str | Path | None = None,
+                 subdir: str = "traces") -> None:
+        root = (Path(directory).expanduser() if directory
+                else default_cache_dir())
+        self.directory = root / subdir
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of a key's blob."""
+        return self.directory / f"{key}{self.SUFFIX}"
+
+    def get_bytes(self, key: str) -> bytes | None:
+        """Stored blob for ``key``, or ``None`` (counted as a miss)."""
+        try:
+            blob = self.path_for(key).read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return blob
+
+    def put_bytes(self, key: str, data: bytes) -> None:
+        """Atomically persist ``data`` under ``key`` (failures swallowed)."""
+        _atomic_write(self.directory, self.path_for(key), data)
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for _ in self.directory.glob(f"*{self.SUFFIX}"))
+        except OSError:
+            return 0
+
+    def clear(self) -> int:
+        """Delete every blob; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob(f"*{self.SUFFIX}"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> str:
+        """``'N hits, M misses'`` summary for logs."""
+        return f"{self.hits} hits, {self.misses} misses"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"TraceStore({str(self.directory)!r}, hits={self.hits}, "
                 f"misses={self.misses})")

@@ -18,7 +18,10 @@ identical problem.
 Execution is delegated to a :class:`~repro.core.executor.SweepExecutor`:
 attach one to parallelize a sweep over processes and/or reuse finished
 points from the persistent result cache.  Without one, a default serial,
-uncached executor reproduces the historical behaviour exactly.
+uncached executor reproduces the historical behaviour exactly.  Either
+way, points share compiled traces (:mod:`repro.sim.compiled`): an app's
+reference stream is captured once and replayed at every other point of
+the sweep, which is where most of a sweep's wall-clock used to go.
 """
 
 from __future__ import annotations

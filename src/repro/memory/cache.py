@@ -25,7 +25,7 @@ to isolate cold and coherence misses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 __all__ = [
     "SHARED",
@@ -72,10 +72,14 @@ class LineEntry:
                 f"pending_until={self.pending_until})")
 
 
-@dataclass(frozen=True)
-class Eviction:
+class Eviction(NamedTuple):
     """A line pushed out of the cache; the protocol layer notifies the
-    directory (replacement hint for SHARED, writeback for EXCLUSIVE)."""
+    directory (replacement hint for SHARED, writeback for EXCLUSIVE).
+
+    A named tuple rather than a frozen dataclass: one is allocated per
+    eviction on the miss path, and tuple construction is C-level while a
+    frozen dataclass pays two ``object.__setattr__`` calls.
+    """
 
     line: int
     state: int
@@ -161,8 +165,25 @@ class FullyAssociativeCache:
         return self.capacity_lines is None
 
     def resident_lines(self) -> list[int]:
-        """All resident line numbers in LRU → MRU order."""
+        """All resident line numbers.
+
+        For a *finite* cache the order is LRU → MRU (dict order is LRU
+        order; see the module docstring).  An infinite cache never reorders
+        on touch — :meth:`lookup` skips the delete/reinsert because no
+        eviction can ever consult the order — so there the order is simply
+        insertion order.
+        """
         return list(self._lines)
+
+    def resident_lines_by_set(self) -> list[list[int]]:
+        """Residency grouped by set: one pseudo-set holding every line.
+
+        A fully associative cache *is* a single set; this mirrors
+        :meth:`SetAssociativeCache.resident_lines_by_set` so residency
+        analyses can treat both cache kinds uniformly.  Within-set order
+        follows :meth:`resident_lines` (LRU → MRU when finite).
+        """
+        return [list(self._lines)]
 
     def state_of(self, line: int) -> int | None:
         """Coherence state of ``line`` or ``None`` if absent (no LRU touch)."""
@@ -251,10 +272,29 @@ class SetAssociativeCache:
         return False
 
     def resident_lines(self) -> list[int]:
+        """All resident line numbers, set by set.
+
+        The order is **set-concatenation order** — set 0's lines (LRU →
+        MRU within the set), then set 1's, and so on — *not* a global LRU
+        ordering: sets age independently, so no global recency order
+        exists.  Use :meth:`resident_lines_by_set` when set boundaries
+        matter (e.g. measuring per-set conflict pressure).
+        """
         out: list[int] = []
         for s in self._sets:
             out.extend(s)
         return out
+
+    def resident_lines_by_set(self) -> list[list[int]]:
+        """Residency grouped by set, LRU → MRU within each set.
+
+        ``result[i]`` lists set ``i``'s resident lines in recency order
+        (dict order is LRU order, exactly as in the fully associative
+        cache).  This is the primitive behind per-set occupancy analyses:
+        a skewed occupancy distribution at equal total residency is the
+        signature of conflict (not capacity) pressure.
+        """
+        return [list(s) for s in self._sets]
 
     def state_of(self, line: int) -> int | None:
         entry = self._set_for(line).get(line)

@@ -31,10 +31,12 @@ from __future__ import annotations
 
 from ..core.config import MachineConfig
 from ..core.metrics import MissCause, MissCounters, NetworkStats
-from ..network.latency import make_latency_provider
+from ..network.latency import TableLatency, make_latency_provider
 from .allocation import PageAllocator
-from .cache import EXCLUSIVE, SHARED, Eviction, make_cache
-from .directory import DIR_EXCLUSIVE, DIR_SHARED, NOT_CACHED, Directory
+from .cache import (EXCLUSIVE, SHARED, FullyAssociativeCache, LineEntry,
+                    make_cache)
+from .directory import (DIR_EXCLUSIVE, DIR_SHARED, NOT_CACHED, DirEntry,
+                        Directory)
 
 __all__ = ["READ_HIT", "READ_MERGE", "READ_MISS", "CoherentMemorySystem"]
 
@@ -43,10 +45,19 @@ READ_HIT = 0
 READ_MERGE = 1
 READ_MISS = 2
 
-# line-history markers for miss-cause classification
-_RESIDENT = 0
-_EVICTED = 1
-_INVALIDATED = 2
+# Per-cluster line history for cold/coherence/capacity classification.  The
+# history dict stores, for each line a cluster has ever lost, the MissCause a
+# future miss on that line will carry: evictions write CAPACITY, invalidations
+# write COHERENCE, and a line never seen classifies COLD via the dict-get
+# default.  (Installs need no history write: a resident line cannot miss, and
+# every way of losing a line — eviction or invalidation — records its cause.)
+_COLD = MissCause.COLD
+_CAPACITY = MissCause.CAPACITY
+_COHERENCE = MissCause.COHERENCE
+
+#: preallocated hit result — read() returns this once per hit, the single
+#: most common outcome of a simulation, and callers only ever unpack it
+_HIT = (READ_HIT, 0)
 
 
 class CoherentMemorySystem:
@@ -78,12 +89,35 @@ class CoherentMemorySystem:
         self.caches = [make_cache(capacity, config.associativity)
                        for _ in range(config.n_clusters)]
         self.counters = [MissCounters() for _ in range(config.n_clusters)]
-        # Per-cluster line history for cold/coherence/capacity classification:
-        # absent = never touched, else one of the marker constants above.
-        self._history: list[dict[int, int]] = [dict() for _ in range(config.n_clusters)]
+        # Per-cluster line history for cold/coherence/capacity classification
+        # (see the module-level comment above _COLD for the encoding).
+        self._history: list[dict[int, MissCause]] = [dict() for _ in range(config.n_clusters)]
         self._cluster_shift = (config.cluster_size.bit_length() - 1
                                if config.cluster_size & (config.cluster_size - 1) == 0
                                else None)
+        # --- hot-path precomputation ----------------------------------
+        # The flat Table-1 latencies are inlined on the miss path (the
+        # dominant per-op cost of a simulation); a hop-based provider
+        # (MeshLatency) is stateful — contention queues, counters — so it
+        # keeps the miss_cycles call.
+        self._flat = isinstance(self.latency, TableLatency)
+        model = config.latency
+        self._local_clean = model.local_clean
+        self._remote_clean = model.remote_clean
+        self._local_dirty_remote = model.local_dirty_remote
+        self._remote_dirty_3p = model.remote_dirty_third_party
+        # live views of allocator page bindings for the in-line home lookup
+        # (first touch of a page still goes through the allocator)
+        self._page_home = self.allocator._page_home
+        self._lines_per_page = self.allocator._lines_per_page
+        # Fully associative caches (the paper's model) expose their line
+        # dicts so lookup / LRU touch / install run as plain dict ops with
+        # no method call and no Eviction allocation; the set-associative
+        # extension keeps the polymorphic calls.
+        self._line_maps = ([c._lines for c in self.caches]
+                           if all(type(c) is FullyAssociativeCache
+                                  for c in self.caches) else None)
+        self._capacity_lines = capacity
 
     # ------------------------------------------------------------------ hot
     def cluster_of(self, processor: int) -> int:
@@ -104,31 +138,129 @@ class CoherentMemorySystem:
 
         ``is_retry`` suppresses double-counting of the reference when the
         engine re-issues a merged read.
+
+        The miss path inlines what used to be ``_classify`` / ``_read_fill``
+        / ``_install`` / ``_retire`` helper calls: it runs once per miss —
+        the dominant per-op cost of a whole simulation — and the ~8 Python
+        frames it saves are worth the longer method body.  The state
+        transitions are the same, in the same order.
         """
-        cluster = self.cluster_of(processor)
+        shift = self._cluster_shift
+        cluster = (processor >> shift if shift is not None
+                   else processor // self.config.cluster_size)
         ctr = self.counters[cluster]
         if not is_retry:
             ctr.references += 1
             ctr.reads += 1
-        entry = self.caches[cluster].lookup(line)
+        line_maps = self._line_maps
+        if line_maps is not None:
+            lines = line_maps[cluster]
+            entry = lines.get(line)
+            if entry is not None and self._capacity_lines is not None:
+                # LRU touch: delete + reinsert keeps dict order = LRU order
+                del lines[line]
+                lines[line] = entry
+        else:
+            lines = None
+            entry = self.caches[cluster].lookup(line)
         if entry is not None:
             if entry.pending_until > now:
                 ctr.merges += 1
                 return READ_MERGE, entry.pending_until - now
             ctr.hits += 1
-            if entry.fetcher not in (-1, processor):
+            fetcher = entry.fetcher
+            if fetcher != -1 and fetcher != processor:
                 # first touch by someone other than the fetching processor:
                 # the fetch acted as a prefetch for this cluster mate
                 ctr.prefetch_hits += 1
                 entry.fetcher = -1
-            return READ_HIT, 0
+            return _HIT
         if is_retry:
             # Line was invalidated while we were merged on its fill.
             ctr.merge_refetches += 1
-        cause = self._classify(cluster, line)
-        latency = self._read_fill(cluster, line, now, processor)
+
+        # ---- read miss: classify, directory transaction, SHARED install
+        history = self._history[cluster]
+        cause = history.get(line, _COLD)
+        page_home = self._page_home.get(line // self._lines_per_page)
+        home = (page_home if page_home is not None
+                else self.allocator.home_of_line(line))
+        dentries = self.directory._entries
+        dentry = dentries.get(line)
+        if dentry is None:
+            dentry = DirEntry()
+            dentries[line] = dentry
+        if dentry.state == DIR_EXCLUSIVE:
+            sharers = dentry.sharers
+            owner = sharers.bit_length() - 1
+            if self._flat:
+                if owner == cluster:
+                    raise ValueError(
+                        "requesting cluster cannot be the dirty owner on a miss")
+                if cluster == home:
+                    latency = self._local_dirty_remote
+                elif owner == home:
+                    latency = self._remote_clean
+                else:
+                    latency = self._remote_dirty_3p
+            else:
+                latency = self.latency.miss_cycles(cluster, home, owner, now)
+            # Owner keeps the data but downgrades; reader joins the sharers.
+            if line_maps is not None:
+                line_maps[owner][line].state = SHARED
+            else:
+                self.caches[owner].downgrade(line)
+            dentry.state = DIR_SHARED
+            dentry.sharers = sharers | (1 << cluster)
+        else:
+            if self._flat:
+                latency = (self._local_clean if cluster == home
+                           else self._remote_clean)
+            else:
+                latency = self.latency.miss_cycles(cluster, home, None, now)
+            dentry.state = DIR_SHARED
+            dentry.sharers |= 1 << cluster
+        if lines is not None:
+            cache = self.caches[cluster]
+            cap = self._capacity_lines
+            if cap is not None and len(lines) >= cap:
+                vline = next(iter(lines))
+                ventry = lines.pop(vline)
+                vstate = ventry.state
+                cache.evictions += 1
+                # recycle the victim's LineEntry for the incoming line
+                ventry.state = SHARED
+                ventry.pending_until = now + latency
+                ventry.fetcher = processor
+                lines[line] = ventry
+                cache.inserts += 1
+                # retire the victim (the body of _retire_inline, saved a
+                # call on what is the common case of every capacity miss)
+                history[vline] = _CAPACITY
+                vdentry = dentries.get(vline)
+                if vstate == EXCLUSIVE:
+                    if (vdentry is not None
+                            and vdentry.state == DIR_EXCLUSIVE
+                            and vdentry.sharers == 1 << cluster):
+                        vdentry.state = NOT_CACHED
+                        vdentry.sharers = 0
+                        self.directory.writebacks += 1
+                elif vdentry is not None:
+                    vdentry.sharers &= ~(1 << cluster)
+                    self.directory.replacement_hints += 1
+                    if vdentry.sharers == 0:
+                        vdentry.state = NOT_CACHED
+            else:
+                lines[line] = LineEntry(SHARED, now + latency, processor)
+                cache.inserts += 1
+        else:
+            victim = self.caches[cluster].insert(line, SHARED, now + latency,
+                                                 processor)
+            if victim is not None:
+                self._retire_inline(cluster, victim.line, victim.state,
+                                    history, dentries)
         ctr.read_misses += 1
-        ctr.record_cause(cause)
+        ctr.by_cause[cause] += 1
         return READ_MISS, latency
 
     def write(self, processor: int, line: int, now: int) -> None:
@@ -136,106 +268,167 @@ class CoherentMemorySystem:
 
         Writes never stall (store buffer + relaxed consistency); they update
         protocol state, classify the miss, and leave missing lines pending.
+        Like :meth:`read`, the miss and upgrade paths are inlined.
         """
-        cluster = self.cluster_of(processor)
+        shift = self._cluster_shift
+        cluster = (processor >> shift if shift is not None
+                   else processor // self.config.cluster_size)
         ctr = self.counters[cluster]
         ctr.references += 1
         ctr.writes += 1
         cache = self.caches[cluster]
-        entry = cache.lookup(line)
+        line_maps = self._line_maps
+        if line_maps is not None:
+            lines = line_maps[cluster]
+            entry = lines.get(line)
+            if entry is not None and self._capacity_lines is not None:
+                del lines[line]
+                lines[line] = entry
+        else:
+            lines = None
+            entry = cache.lookup(line)
+        directory = self.directory
+        dentries = directory._entries
         if entry is not None:
             if entry.state == EXCLUSIVE:
                 ctr.hits += 1
                 return
             # UPGRADE: present but SHARED -> invalidate other sharers.
             ctr.upgrade_misses += 1
-            self._invalidate_others(line, cluster)
-            self.directory.record_exclusive(line, cluster)
+            dentry = dentries.get(line)
+            if dentry is None:
+                dentry = DirEntry()
+                dentries[line] = dentry
+            others = dentry.sharers & ~(1 << cluster)
+            if others:
+                self._invalidate_bits(line, others)
+                directory.invalidations_sent += others.bit_count()
+            dentry.state = DIR_EXCLUSIVE
+            dentry.sharers = 1 << cluster
             entry.state = EXCLUSIVE
             return
-        # WRITE miss: fetch exclusive; latency hidden but line is pending.
-        cause = self._classify(cluster, line)
-        latency = self._write_fill(cluster, line, now, processor)
+
+        # ---- WRITE miss: fetch exclusive; latency hidden, line pending.
+        history = self._history[cluster]
+        cause = history.get(line, _COLD)
+        page_home = self._page_home.get(line // self._lines_per_page)
+        home = (page_home if page_home is not None
+                else self.allocator.home_of_line(line))
+        dentry = dentries.get(line)
+        if dentry is None:
+            dentry = DirEntry()
+            dentries[line] = dentry
+        if dentry.state == DIR_EXCLUSIVE:
+            owner = dentry.sharers.bit_length() - 1
+            if self._flat:
+                if owner == cluster:
+                    raise ValueError(
+                        "requesting cluster cannot be the dirty owner on a miss")
+                if cluster == home:
+                    latency = self._local_dirty_remote
+                elif owner == home:
+                    latency = self._remote_clean
+                else:
+                    latency = self._remote_dirty_3p
+            else:
+                latency = self.latency.miss_cycles(cluster, home, owner, now)
+        else:
+            if self._flat:
+                latency = (self._local_clean if cluster == home
+                           else self._remote_clean)
+            else:
+                latency = self.latency.miss_cycles(cluster, home, None, now)
+        others = dentry.sharers & ~(1 << cluster)
+        if others:
+            self._invalidate_bits(line, others)
+        directory.invalidations_sent += others.bit_count()
+        dentry.state = DIR_EXCLUSIVE
+        dentry.sharers = 1 << cluster
+        if lines is not None:
+            cap = self._capacity_lines
+            if cap is not None and len(lines) >= cap:
+                vline = next(iter(lines))
+                ventry = lines.pop(vline)
+                vstate = ventry.state
+                cache.evictions += 1
+                ventry.state = EXCLUSIVE
+                ventry.pending_until = now + latency
+                ventry.fetcher = processor
+                lines[line] = ventry
+                cache.inserts += 1
+                history[vline] = _CAPACITY
+                vdentry = dentries.get(vline)
+                if vstate == EXCLUSIVE:
+                    if (vdentry is not None
+                            and vdentry.state == DIR_EXCLUSIVE
+                            and vdentry.sharers == 1 << cluster):
+                        vdentry.state = NOT_CACHED
+                        vdentry.sharers = 0
+                        self.directory.writebacks += 1
+                elif vdentry is not None:
+                    vdentry.sharers &= ~(1 << cluster)
+                    self.directory.replacement_hints += 1
+                    if vdentry.sharers == 0:
+                        vdentry.state = NOT_CACHED
+            else:
+                lines[line] = LineEntry(EXCLUSIVE, now + latency, processor)
+                cache.inserts += 1
+        else:
+            victim = cache.insert(line, EXCLUSIVE, now + latency, processor)
+            if victim is not None:
+                self._retire_inline(cluster, victim.line, victim.state,
+                                    history, dentries)
         ctr.write_misses += 1
-        ctr.record_cause(cause)
-        del latency  # latency fully hidden from the processor
+        ctr.by_cause[cause] += 1
 
-    # ----------------------------------------------------------- fill paths
-    def _read_fill(self, cluster: int, line: int, now: int,
-                   processor: int) -> int:
-        """Service a read miss: directory transaction + SHARED install."""
-        home = self.allocator.home_of_line(line)
-        dentry = self.directory.entry(line)
-        if dentry.state == DIR_EXCLUSIVE:
-            owner = dentry.owner
-            latency = self.latency.miss_cycles(cluster, home, owner, now)
-            # Owner keeps the data but downgrades; reader joins the sharers.
-            self.caches[owner].downgrade(line)
-            self.directory.downgrade_owner(line, cluster)
-        else:
-            latency = self.latency.miss_cycles(cluster, home, None, now)
-            self.directory.record_read_fill(line, cluster)
-        self._install(cluster, line, SHARED, now + latency, processor)
-        return latency
+    # -------------------------------------------------- miss-path helpers
+    def _retire_inline(self, cluster: int, vline: int, vstate: int,
+                       history: dict, dentries: dict) -> None:
+        """Directory bookkeeping for an evicted line (uncommon subpath)."""
+        history[vline] = _CAPACITY
+        dentry = dentries.get(vline)
+        if vstate == EXCLUSIVE:
+            # writeback: data returns home, line NOT_CACHED
+            if (dentry is not None and dentry.state == DIR_EXCLUSIVE
+                    and dentry.sharers == 1 << cluster):
+                dentry.state = NOT_CACHED
+                dentry.sharers = 0
+                self.directory.writebacks += 1
+        elif dentry is not None:
+            # replacement hint: clear the sharer bit so the directory never
+            # sends a useless invalidation later
+            dentry.sharers &= ~(1 << cluster)
+            self.directory.replacement_hints += 1
+            if dentry.sharers == 0:
+                dentry.state = NOT_CACHED
 
-    def _write_fill(self, cluster: int, line: int, now: int,
-                    processor: int) -> int:
-        """Service a write miss: invalidate everyone else, install EXCLUSIVE."""
-        home = self.allocator.home_of_line(line)
-        dentry = self.directory.entry(line)
-        if dentry.state == DIR_EXCLUSIVE:
-            latency = self.latency.miss_cycles(cluster, home, dentry.owner,
-                                               now)
-        else:
-            latency = self.latency.miss_cycles(cluster, home, None, now)
-        self._invalidate_others(line, cluster)
-        self.directory.record_exclusive(line, cluster)
-        self._install(cluster, line, EXCLUSIVE, now + latency, processor)
-        return latency
-
-    def _install(self, cluster: int, line: int, state: int,
-                 pending_until: int, fetcher: int = -1) -> None:
-        """Insert a freshly fetched line, handling the victim's protocol exit."""
-        victim = self.caches[cluster].insert(line, state, pending_until,
-                                             fetcher)
-        self._history[cluster][line] = _RESIDENT
-        if victim is not None:
-            self._retire(cluster, victim)
-
-    def _retire(self, cluster: int, victim: Eviction) -> None:
-        """Directory bookkeeping for an evicted line."""
-        self._history[cluster][victim.line] = _EVICTED
-        if victim.state == EXCLUSIVE:
-            self.directory.writeback(victim.line, cluster)
-        else:
-            self.directory.replacement_hint(victim.line, cluster)
-
-    def _invalidate_others(self, line: int, keeper: int) -> None:
-        """Instantaneously invalidate every cached copy except ``keeper``'s.
+    def _invalidate_bits(self, line: int, bits: int) -> None:
+        """Instantaneously invalidate the cached copies named by ``bits``.
 
         Pending lines are invalidated too (paper §3.1); a reader merged on
         such a line re-fetches when it retries.
-        """
-        dentry = self.directory.peek(line)
-        if dentry is None or dentry.sharers == 0:
-            return
-        bits = dentry.sharers & ~(1 << keeper)
-        cluster = 0
-        while bits:
-            if bits & 1:
-                if self.caches[cluster].invalidate(line):
-                    self._history[cluster][line] = _INVALIDATED
-            bits >>= 1
-            cluster += 1
 
-    def _classify(self, cluster: int, line: int) -> MissCause:
-        """Cold / coherence / capacity classification for a miss."""
-        mark = self._history[cluster].get(line)
-        if mark is None:
-            return MissCause.COLD
-        if mark == _INVALIDATED:
-            return MissCause.COHERENCE
-        return MissCause.CAPACITY
+        Iterates set bits via lowest-bit extraction (ascending cluster
+        order, same as the old shift-scan) so a write to a line shared by
+        few of many clusters doesn't walk every bit position.
+        """
+        history = self._history
+        line_maps = self._line_maps
+        if line_maps is not None:
+            while bits:
+                low = bits & -bits
+                bits ^= low
+                cluster = low.bit_length() - 1
+                if line_maps[cluster].pop(line, None) is not None:
+                    history[cluster][line] = _COHERENCE
+        else:
+            caches = self.caches
+            while bits:
+                low = bits & -bits
+                bits ^= low
+                cluster = low.bit_length() - 1
+                if caches[cluster].invalidate(line):
+                    history[cluster][line] = _COHERENCE
 
     # ---------------------------------------------------------------- query
     def aggregate_counters(self) -> MissCounters:

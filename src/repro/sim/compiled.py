@@ -1,0 +1,468 @@
+"""Compiled-trace execution: flat-array program capture and reuse.
+
+The execution engine historically pulled one ``(opcode, arg)`` tuple per
+simulated operation out of a per-processor Python generator.  Each pull is a
+generator resumption plus a tuple allocation plus a tuple unpack — pure
+interpreter overhead that dwarfs the simulated work for memory-light ops.
+Worse, every sweep point regenerated the *identical* stream from scratch:
+the reference stream of an application depends only on the problem
+(app + kwargs + seed) and the stream-relevant machine fields
+(:meth:`~repro.core.config.MachineConfig.trace_signature` — processor
+count, line size, page size), **not** on cluster size, cache capacity,
+latency table, or network model.  A cluster-size × cache-size grid can
+therefore capture each app's program once and replay it everywhere.
+
+This module provides that capture/replay layer:
+
+* :class:`CompiledProgram` — per-processor flat parallel ``array('q')``
+  opcode/arg arrays.  READ/WRITE operands are pre-divided by the line size
+  (the engine's per-op ``arg // line_size`` disappears) and consecutive
+  WORK ops are fused at compile time, so replay is index bumping with zero
+  per-op allocation;
+* :func:`compile_program` — drain a generator-based program factory once
+  into a :class:`CompiledProgram`;
+* :func:`trace_key` — content hash identifying one compiled trace
+  (version, app, kwargs, seed, stream-relevant machine fields);
+* :class:`TraceCache` — process-wide in-memory LRU of compiled programs
+  plus an optional persistent tier
+  (:class:`~repro.core.resultcache.TraceStore`), so a sweep compiles each
+  app once per process and ``--jobs`` worker processes share traces via
+  disk.
+
+Replay is **bit-identical** to generator execution: the engine's golden
+and equivalence suites (``tests/test_golden_regression.py``,
+``tests/test_compiled.py``) compare canonical ``RunResult`` JSON
+byte-for-byte.  A corrupted or stale disk trace is never fatal — it decodes
+to a miss (with a warning) and the program is regenerated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import warnings
+import zlib
+from array import array
+from collections import OrderedDict
+from typing import Any, Mapping
+
+from ..core.resultcache import TraceStore
+from .program import (OP_BARRIER, OP_READ, OP_UNLOCK, OP_WORK, OP_WRITE,
+                      ProgramFactory)
+
+__all__ = ["CompiledProgram", "TraceCache", "TraceDecodeError",
+           "compile_program", "trace_key", "clear_memory_cache",
+           "memory_cache_len", "ENV_TRACE_LRU"]
+
+#: environment variable overriding the in-memory LRU capacity (entries)
+ENV_TRACE_LRU = "REPRO_TRACE_LRU"
+
+# Default sized to hold a full 9-app sweep: 6 stream-invariant traces (one
+# per app, shared across cluster sizes) plus one trace per (dynamic app,
+# config) pair — a 4-cluster-size grid needs 6 + 3*4 = 18.  Quick-scale
+# traces are a few MB each, so 32 stays far below typical memory budgets;
+# REPRO_TRACE_LRU overrides for paper-scale runs.
+_DEFAULT_LRU_ENTRIES = 32
+
+#: serialization magic: bump the trailing digits on any format change so
+#: stale cache entries from older versions decode as misses, not garbage
+_MAGIC = b"RPROTRC1"
+
+
+class TraceDecodeError(ValueError):
+    """A serialized compiled trace is corrupt, truncated, or incompatible."""
+
+
+class CompiledProgram:
+    """The flat-array form of one program across all processors.
+
+    ``ops[pid]`` / ``args[pid]`` are parallel ``array('q')`` columns: entry
+    ``i`` is the ``i``-th operation of processor ``pid``.  Opcodes are the
+    :mod:`repro.sim.program` constants; READ/WRITE args are **line
+    numbers** (already divided by ``line_size``), all other args are
+    verbatim.
+
+    Instances are immutable by convention (the engine only reads them), so
+    one compiled program can be replayed concurrently by any number of
+    engines and shared through :class:`TraceCache`.
+    """
+
+    __slots__ = ("ops", "args", "n_processors", "line_size", "source_ops",
+                 "fused_work", "_runtime")
+
+    def __init__(self, ops: list[array], args: list[array], line_size: int,
+                 source_ops: int, fused_work: bool) -> None:
+        if len(ops) != len(args):
+            raise ValueError("ops/args column counts differ")
+        for o, a in zip(ops, args):
+            if len(o) != len(a):
+                raise ValueError("ops/args columns have unequal lengths")
+        self.ops = ops
+        self.args = args
+        self.n_processors = len(ops)
+        self.line_size = line_size
+        #: operation count before WORK fusion (what a generator would yield)
+        self.source_ops = source_ops
+        self.fused_work = fused_work
+        self._runtime: tuple[list[list[int]], list[list[int]]] | None = None
+
+    def runtime_columns(self) -> tuple[list[list[int]], list[list[int]]]:
+        """Plain-list views of ``(ops, args)`` for the replay loop.
+
+        ``array('q')`` is the compact storage/wire format, but indexing it
+        boxes a fresh int per access; replay indexes every operand once per
+        replay, so the engine uses list columns where each int is boxed
+        once.  Built lazily on first replay and cached — the arrays remain
+        the canonical (serialized, hashed) representation.
+        """
+        rt = self._runtime
+        if rt is None:
+            rt = ([list(o) for o in self.ops], [list(a) for a in self.args])
+            self._runtime = rt
+        return rt
+
+    # ----------------------------------------------------------------- size
+    @property
+    def total_ops(self) -> int:
+        """Stored (post-fusion) operations across all processors."""
+        return sum(len(o) for o in self.ops)
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory payload size of the flat arrays."""
+        return sum(o.itemsize * len(o) + a.itemsize * len(a)
+                   for o, a in zip(self.ops, self.args))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"CompiledProgram({self.n_processors} processors, "
+                f"{self.total_ops:,} ops, line_size={self.line_size})")
+
+    # -------------------------------------------------------- serialization
+    def to_bytes(self) -> bytes:
+        """Compact binary encoding (zlib-compressed, CRC-protected)."""
+        payload = b"".join(col.tobytes()
+                           for pair in zip(self.ops, self.args)
+                           for col in pair)
+        header = json.dumps({
+            "n_processors": self.n_processors,
+            "line_size": self.line_size,
+            "source_ops": self.source_ops,
+            "fused_work": self.fused_work,
+            "counts": [len(o) for o in self.ops],
+            "itemsize": self.ops[0].itemsize if self.ops else 8,
+            "byteorder": sys.byteorder,
+            "crc32": zlib.crc32(payload),
+        }, sort_keys=True).encode("utf-8")
+        return (_MAGIC + len(header).to_bytes(4, "little") + header
+                + zlib.compress(payload, 1))
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "CompiledProgram":
+        """Inverse of :meth:`to_bytes`.
+
+        Raises :class:`TraceDecodeError` on any corruption: bad magic,
+        truncation, malformed header, CRC mismatch, or an encoding written
+        by an incompatible platform (item size / byte order).
+        """
+        try:
+            if blob[:8] != _MAGIC:
+                raise TraceDecodeError("bad magic")
+            hlen = int.from_bytes(blob[8:12], "little")
+            header = json.loads(blob[12:12 + hlen].decode("utf-8"))
+            payload = zlib.decompress(blob[12 + hlen:])
+            counts = header["counts"]
+            itemsize = header["itemsize"]
+            if itemsize != array("q").itemsize:
+                raise TraceDecodeError(f"item size {itemsize} != native")
+            if header["byteorder"] != sys.byteorder:
+                raise TraceDecodeError("foreign byte order")
+            if zlib.crc32(payload) != header["crc32"]:
+                raise TraceDecodeError("payload CRC mismatch")
+            if len(payload) != 2 * itemsize * sum(counts):
+                raise TraceDecodeError("payload length mismatch")
+            ops: list[array] = []
+            args: list[array] = []
+            offset = 0
+            for count in counts:
+                nb = count * itemsize
+                for out in (ops, args):
+                    col = array("q")
+                    col.frombytes(payload[offset:offset + nb])
+                    out.append(col)
+                    offset += nb
+            return cls(ops, args, header["line_size"],
+                       header["source_ops"], header["fused_work"])
+        except TraceDecodeError:
+            raise
+        except Exception as exc:  # truncated/garbled in any other way
+            raise TraceDecodeError(f"undecodable trace: {exc!r}") from exc
+
+
+def compile_program(program_factory: ProgramFactory, n_processors: int,
+                    line_size: int, fuse_work: bool = True,
+                    ) -> CompiledProgram:
+    """Drain every processor's generator once into a :class:`CompiledProgram`.
+
+    * READ/WRITE byte addresses become line numbers (``arg // line_size``),
+      hoisting the division out of the replay loop entirely;
+    * with ``fuse_work`` (the default), a run of consecutive WORK ops
+      collapses into one WORK carrying the summed cycles — SPMD emission
+      helpers pad spans with WORK, so fusion typically removes 10-30% of
+      stored ops;
+    * operand validation (negative WORK, unknown opcode) happens here, at
+      compile time, so the replay loop never re-checks it.
+
+    The drain is **barrier-phased**, mirroring the engine's interleaving at
+    the granularity that matters: several applications (Radix's parallel
+    prefix, Barnes' tree phases, the task-grid codes) compute shared Python
+    state in one barrier phase that the next phase's streams read, so no
+    generator may run ahead of a barrier until every generator has reached
+    it.  Within a phase, generators advance in processor order — safe
+    because SPMD phases are race-free between barriers (that is what the
+    barrier is *for*; an app whose stream content depended on intra-phase
+    timing would not be deterministic across machine organisations in the
+    first place, and the equivalence suite would catch it).
+    """
+    if n_processors <= 0:
+        raise ValueError("n_processors must be positive")
+    if line_size <= 0:
+        raise ValueError("line_size must be positive")
+    all_ops = [array("q") for _ in range(n_processors)]
+    all_args = [array("q") for _ in range(n_processors)]
+    gens = [iter(program_factory(pid)) for pid in range(n_processors)]
+    prev_was_work = [False] * n_processors
+    source_ops = 0
+    running = list(range(n_processors))
+    while running:
+        still_running = []
+        for pid in running:
+            ops = all_ops[pid]
+            args = all_args[pid]
+            append_op = ops.append
+            append_arg = args.append
+            was_work = prev_was_work[pid]
+            for opcode, arg in gens[pid]:
+                source_ops += 1
+                if opcode == OP_WORK:
+                    if arg < 0:
+                        raise ValueError(f"negative WORK cycles: {arg}")
+                    if fuse_work and was_work:
+                        args[-1] += arg
+                        continue
+                    was_work = True
+                else:
+                    was_work = False
+                    if opcode == OP_READ or opcode == OP_WRITE:
+                        arg //= line_size
+                    elif not 0 <= opcode <= OP_UNLOCK:
+                        raise ValueError(f"unknown opcode {opcode}")
+                append_op(opcode)
+                append_arg(arg)
+                if opcode == OP_BARRIER:
+                    still_running.append(pid)
+                    break
+            prev_was_work[pid] = was_work
+        running = still_running
+    return CompiledProgram(all_ops, all_args, line_size, source_ops,
+                           fuse_work)
+
+
+class ProgramRecorder:
+    """Capture a program's streams *while* an engine executes them.
+
+    The barrier-phased drain of :func:`compile_program` is correct only for
+    applications whose streams are independent of intra-phase timing.  The
+    dynamic task-queue codes (Barnes, Raytrace, Volrend) violate that: a
+    lock-protected Python-side counter decides which task each processor
+    grabs, so the streams depend on simulated lock-acquisition order —
+    something only a real engine run knows.  For those, wrap the factory::
+
+        recorder = ProgramRecorder(app.program, n, line_size)
+        result = engine.run(recorder.factory)
+        program = recorder.finish()
+
+    ``factory`` is a drop-in :data:`~repro.sim.program.ProgramFactory` that
+    transparently appends every yielded op (with the same line-division and
+    WORK fusion as :func:`compile_program`) before handing it to the
+    engine, so the capture is the *executed* interleaving by construction
+    and replaying it on an identically-configured machine is bit-identical.
+    """
+
+    def __init__(self, program_factory: ProgramFactory, n_processors: int,
+                 line_size: int, fuse_work: bool = True) -> None:
+        if n_processors <= 0:
+            raise ValueError("n_processors must be positive")
+        if line_size <= 0:
+            raise ValueError("line_size must be positive")
+        self._factory = program_factory
+        self.n_processors = n_processors
+        self.line_size = line_size
+        self.fuse_work = fuse_work
+        self._ops = [array("q") for _ in range(n_processors)]
+        self._args = [array("q") for _ in range(n_processors)]
+        self._source_ops = 0
+
+    def factory(self, pid: int):
+        """The recording wrapper around ``program_factory(pid)``."""
+        ops = self._ops[pid]
+        args = self._args[pid]
+        fuse = self.fuse_work
+        line_size = self.line_size
+        was_work = False
+        for op in self._factory(pid):
+            opcode, arg = op
+            self._source_ops += 1
+            if opcode == OP_WORK:
+                if fuse and was_work:
+                    args[-1] += arg
+                    yield op
+                    continue
+                was_work = True
+                ops.append(opcode)
+                args.append(arg)
+            else:
+                was_work = False
+                ops.append(opcode)
+                args.append(arg // line_size
+                            if opcode == OP_READ or opcode == OP_WRITE
+                            else arg)
+            yield op
+
+    def finish(self) -> CompiledProgram:
+        """The capture as a :class:`CompiledProgram` (call after the run)."""
+        return CompiledProgram(self._ops, self._args, self.line_size,
+                               self._source_ops, self.fuse_work)
+
+
+# --------------------------------------------------------------------- keys
+
+def trace_key(app: str, app_kwargs: Mapping[str, Any], config: Any,
+              seed: int, version: str | None = None,
+              stream_invariant: bool = True) -> str:
+    """Content hash identifying one compiled trace.
+
+    Covers the package version, the application and its problem kwargs, the
+    application seed, and the machine fields the reference stream actually
+    depends on (:meth:`MachineConfig.trace_signature`).  Cluster size,
+    cache capacity, associativity, latency table, and network model are
+    deliberately **absent** — that is what lets a clustering sweep reuse
+    one trace across its whole grid.
+
+    With ``stream_invariant=False`` (the dynamic task-queue applications,
+    whose executed streams depend on simulated timing) the key instead
+    covers the **complete** machine configuration: such a capture is only
+    replayable at the exact configuration that recorded it.
+    """
+    if version is None:
+        from .. import __version__ as version
+    payload = {
+        "version": version,
+        "app": app,
+        "app_kwargs": dict(app_kwargs),
+        "seed": seed,
+        "stream": (config.trace_signature() if stream_invariant
+                   else config.to_dict()),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# -------------------------------------------------------- process-wide LRU
+
+_memory_lru: OrderedDict[str, CompiledProgram] = OrderedDict()
+
+
+def _lru_capacity() -> int:
+    try:
+        return max(1, int(os.environ.get(ENV_TRACE_LRU,
+                                         _DEFAULT_LRU_ENTRIES)))
+    except ValueError:
+        return _DEFAULT_LRU_ENTRIES
+
+
+def clear_memory_cache() -> None:
+    """Drop every in-memory trace (tests and cold benchmarks use this)."""
+    _memory_lru.clear()
+
+
+def memory_cache_len() -> int:
+    """Number of traces currently held by the in-memory LRU."""
+    return len(_memory_lru)
+
+
+class TraceCache:
+    """Two-tier cache of compiled programs.
+
+    Tier 1 is a **process-wide** LRU of live :class:`CompiledProgram`
+    objects (capacity :data:`ENV_TRACE_LRU`, default 32 entries) — shared by
+    every ``TraceCache`` instance in the process, so a study, its executor,
+    and a process-pool worker all see each other's compilations.  Tier 2 is
+    an optional :class:`~repro.core.resultcache.TraceStore` on disk, which
+    is what lets separate ``--jobs`` worker processes and separate CLI
+    invocations reuse traces.
+
+    Instances are cheap and picklable (the LRU is module state, the store
+    carries only a path), so executors ship them to pool workers as-is.
+    """
+
+    def __init__(self, store: TraceStore | None = None) -> None:
+        self.store = store
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> CompiledProgram | None:
+        """The cached program for ``key``, or ``None`` (counted as a miss).
+
+        A corrupt disk entry degrades to a miss with a ``UserWarning``; the
+        caller recompiles and :meth:`put` overwrites the bad entry.
+        """
+        program = _memory_lru.get(key)
+        if program is not None:
+            _memory_lru.move_to_end(key)
+            self.memory_hits += 1
+            return program
+        if self.store is not None:
+            blob = self.store.get_bytes(key)
+            if blob is not None:
+                try:
+                    program = CompiledProgram.from_bytes(blob)
+                except TraceDecodeError as exc:
+                    warnings.warn(
+                        f"discarding corrupt compiled trace {key[:12]}… "
+                        f"({exc}); regenerating", stacklevel=2)
+                else:
+                    self._remember(key, program)
+                    self.disk_hits += 1
+                    return program
+        self.misses += 1
+        return None
+
+    def put(self, key: str, program: CompiledProgram) -> None:
+        """Install ``program`` in both tiers (disk failures are swallowed)."""
+        self._remember(key, program)
+        if self.store is not None:
+            self.store.put_bytes(key, program.to_bytes())
+
+    @staticmethod
+    def _remember(key: str, program: CompiledProgram) -> None:
+        _memory_lru[key] = program
+        _memory_lru.move_to_end(key)
+        capacity = _lru_capacity()
+        while len(_memory_lru) > capacity:
+            _memory_lru.popitem(last=False)
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def stats(self) -> str:
+        """``'N memory + M disk hits, K misses'`` summary for logs."""
+        return (f"{self.memory_hits} memory + {self.disk_hits} disk hits, "
+                f"{self.misses} misses")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TraceCache(store={self.store!r}, {self.stats()})"

@@ -25,11 +25,29 @@ The memory system is any object with ``read(processor, line, now, is_retry)``
 and ``write(processor, line, now)`` — normally
 :class:`~repro.memory.coherence.CoherentMemorySystem`, or
 :class:`PerfectMemory` for load-latency profiling.
+
+Execution paths and the heap-lean fast path
+-------------------------------------------
+
+Programs run either from generators (:meth:`Engine.run`, the historical
+path) or from a pre-compiled flat-array capture
+(:meth:`Engine.run_compiled` on a :class:`~repro.sim.compiled.
+CompiledProgram`), which eliminates the per-op generator resumption and
+tuple unpack.  Both paths share a *heap fast path*: when the processor's
+next event lands **strictly earlier** than the current heap minimum (or
+the heap is empty), that event would necessarily be popped next, so the
+heappush/heappop round-trip is skipped and the processor simply continues.
+This is bit-identical to the historical engine: skipping an adjacent
+push/pop pair removes one sequence number from the global counter, which
+relabels all later sequence numbers monotonically — the relative order of
+every remaining event, including ties, is unchanged.  (An event *equal* to
+the heap minimum must still go through the heap: the incumbent was pushed
+earlier, holds the smaller sequence number, and wins the tie.)
 """
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from heapq import heappop, heappush, heappushpop
 
 from ..core.config import MachineConfig
 from ..core.metrics import MissCounters, RunResult, TimeBreakdown
@@ -78,19 +96,27 @@ class Engine:
         the load-latency profiler sweeps 1-4).
     max_cycles:
         Safety cap; exceeding it raises ``RuntimeError`` (runaway program).
+    heap_fast_path:
+        Skip the heappush/heappop round-trip when the rescheduled event is
+        strictly earlier than the heap minimum (default on; results are
+        bit-identical either way — the flag exists for the equivalence
+        tests and for benchmarking the fast path's contribution).
     """
 
     def __init__(self, config: MachineConfig, memory,
                  read_hit_cycles: int = 1,
-                 max_cycles: int | None = None) -> None:
+                 max_cycles: int | None = None,
+                 heap_fast_path: bool = True) -> None:
         if read_hit_cycles < 1:
             raise ValueError("read_hit_cycles must be >= 1")
         self.config = config
         self.memory = memory
         self.read_hit_cycles = read_hit_cycles
         self.max_cycles = max_cycles
+        self.heap_fast_path = heap_fast_path
         self.sync = SyncRegistry(config.n_processors)
 
+    # ------------------------------------------------------- generator path
     def run(self, program_factory: ProgramFactory) -> RunResult:
         """Execute ``program_factory(pid)`` on every processor to completion."""
         n = self.config.n_processors
@@ -100,98 +126,287 @@ class Engine:
         write = memory.write
         hit_cost = self.read_hit_cycles
         max_cycles = self.max_cycles
+        fast = self.heap_fast_path
+        sync = self.sync
 
-        programs = [program_factory(pid) for pid in range(n)]
+        nexts = [iter(program_factory(pid)).__next__ for pid in range(n)]
         breakdowns = [TimeBreakdown() for _ in range(n)]
         retry_line: list[int | None] = [None] * n
         finish: list[int | None] = [None] * n
+        # sentinel keeps the per-op guard to one int compare; 2**62 cycles
+        # is beyond any simulation, so "no limit" and "huge limit" coincide
+        limit = max_cycles if max_cycles is not None else 1 << 62
 
-        heap: list[tuple[int, int, int]] = []
-        seq = 0
-        for pid in range(n):
-            heap.append((0, seq, pid))
-            seq += 1
         # list of (time, seq, pid) is already a valid heap here (all zeros)
-
+        heap: list[tuple[int, int, int]] = [(0, pid, pid) for pid in range(n)]
+        seq = n
         n_running = n
-        while heap:
-            t, _, pid = heappop(heap)
-            if max_cycles is not None and t > max_cycles:
+
+        # Single flat loop: one iteration processes one operation.  The
+        # reschedule tail fuses the historical heappush + outer heappop into
+        # one heappushpop (same returned minimum, same tie-breaks, half the
+        # sift work); ``tn = None`` marks a blocked/finished processor whose
+        # next event comes solely from the heap.
+        t, _, pid = heappop(heap)
+        bd = breakdowns[pid]
+        nxt = nexts[pid]
+        pending = retry_line[pid]
+        while True:
+            if t > limit:
                 raise RuntimeError(
                     f"simulation exceeded max_cycles={max_cycles} "
                     f"(processor {pid} at t={t})")
-            bd = breakdowns[pid]
 
-            pending = retry_line[pid]
             if pending is not None:
                 outcome, stall = read(pid, pending, t, True)
                 if outcome == READ_MERGE:
                     bd.merge += stall
-                    heappush(heap, (t + stall, seq, pid)); seq += 1
-                    continue
-                retry_line[pid] = None
-                if outcome == READ_HIT:
+                    tn = t + stall
+                elif outcome == READ_HIT:
+                    pending = None
                     bd.cpu += hit_cost
-                    heappush(heap, (t + hit_cost, seq, pid)); seq += 1
+                    tn = t + hit_cost
                 else:  # fresh miss after mid-flight invalidation
+                    pending = None
                     bd.load += stall
                     bd.cpu += hit_cost
-                    heappush(heap, (t + stall + hit_cost, seq, pid)); seq += 1
-                continue
+                    tn = t + stall + hit_cost
+            else:
+                try:
+                    opcode, arg = nxt()
+                except StopIteration:
+                    finish[pid] = t
+                    n_running -= 1
+                    tn = None
+                else:
+                    # dispatch ordered by dynamic frequency: reads dominate
+                    # every app once consecutive WORK ops are fused
+                    if opcode == OP_READ:
+                        line = arg // line_size
+                        outcome, stall = read(pid, line, t, False)
+                        if outcome == READ_HIT:
+                            bd.cpu += hit_cost
+                            tn = t + hit_cost
+                        elif outcome == READ_MERGE:
+                            bd.merge += stall
+                            pending = line
+                            tn = t + stall
+                        else:
+                            bd.load += stall
+                            bd.cpu += hit_cost
+                            tn = t + stall + hit_cost
+                    elif opcode == OP_WORK:
+                        if arg < 0:
+                            raise ValueError(f"negative WORK cycles: {arg}")
+                        bd.cpu += arg
+                        tn = t + arg
+                    elif opcode == OP_WRITE:
+                        write(pid, arg // line_size, t)
+                        bd.cpu += 1
+                        tn = t + 1
+                    elif opcode == OP_BARRIER:
+                        releases = sync.barrier(arg).arrive(pid, t)
+                        if releases is not None:
+                            for rpid, wait in releases:
+                                breakdowns[rpid].sync += wait
+                                heappush(heap, (t, seq, rpid)); seq += 1
+                        tn = None  # waiting (or rescheduled in the releases)
+                    elif opcode == OP_LOCK:
+                        if sync.lock(arg).acquire(pid, t):
+                            bd.cpu += 1
+                            tn = t + 1
+                        else:
+                            tn = None  # blocked; rescheduled by the releaser
+                    elif opcode == OP_UNLOCK:
+                        handoff = sync.lock(arg).release(pid, t)
+                        bd.cpu += 1
+                        if handoff is None:
+                            tn = t + 1
+                        else:
+                            # push order (self, then next holder) fixes the
+                            # tie-break at t+1 exactly as it always did
+                            heappush(heap, (t + 1, seq, pid)); seq += 1
+                            next_pid, wait = handoff
+                            nbd = breakdowns[next_pid]
+                            nbd.sync += wait
+                            nbd.cpu += 1  # the acquisition cycle of its LOCK
+                            heappush(heap, (t + 1, seq, next_pid)); seq += 1
+                            tn = None
+                    else:
+                        raise ValueError(f"unknown opcode {opcode}")
 
-            try:
-                opcode, arg = next(programs[pid])
-            except StopIteration:
+            # ---- scheduling tail
+            if tn is None:  # blocked or finished
+                if not heap:
+                    break
+                t, _, npid = heappop(heap)
+            elif fast and (not heap or tn < heap[0][0]):
+                t = tn  # strictly next: stay on this processor
+                continue
+            else:
+                t, _, npid = heappushpop(heap, (tn, seq, pid)); seq += 1
+                if npid == pid:
+                    continue
+            retry_line[pid] = pending
+            pid = npid
+            bd = breakdowns[pid]
+            nxt = nexts[pid]
+            pending = retry_line[pid]
+
+        return self._finalize(breakdowns, finish, n_running)
+
+    # -------------------------------------------------------- compiled path
+    def run_compiled(self, program) -> RunResult:
+        """Replay a :class:`~repro.sim.compiled.CompiledProgram`.
+
+        Bit-identical to :meth:`run` on the program the capture was
+        compiled from; the per-op generator resumption, tuple unpack, and
+        ``arg // line_size`` all disappear (READ/WRITE operands are
+        pre-divided line numbers).
+        """
+        n = self.config.n_processors
+        if program.n_processors != n:
+            raise ValueError(
+                f"compiled program has {program.n_processors} processors, "
+                f"machine has {n}")
+        if program.line_size != self.config.line_size:
+            raise ValueError(
+                f"compiled program captured at line size "
+                f"{program.line_size}, machine uses {self.config.line_size}")
+        memory = self.memory
+        read = memory.read
+        write = memory.write
+        hit_cost = self.read_hit_cycles
+        max_cycles = self.max_cycles
+        fast = self.heap_fast_path
+        sync = self.sync
+
+        ops_of, args_of = program.runtime_columns()
+        n_ops_of = [len(o) for o in ops_of]
+        ip = [0] * n  # per-processor instruction pointer
+        breakdowns = [TimeBreakdown() for _ in range(n)]
+        retry_line: list[int | None] = [None] * n
+        finish: list[int | None] = [None] * n
+        limit = max_cycles if max_cycles is not None else 1 << 62
+
+        heap: list[tuple[int, int, int]] = [(0, pid, pid) for pid in range(n)]
+        seq = n
+        n_running = n
+
+        # Same flat heappushpop loop as :meth:`run` (see the comment there);
+        # here a processor's resumable state is (instruction pointer, pending
+        # retry line), both kept in locals and stored back only on a switch.
+        t, _, pid = heappop(heap)
+        bd = breakdowns[pid]
+        ops = ops_of[pid]
+        args = args_of[pid]
+        i = ip[pid]
+        n_ops = n_ops_of[pid]
+        pending = retry_line[pid]
+        while True:
+            if t > limit:
+                raise RuntimeError(
+                    f"simulation exceeded max_cycles={max_cycles} "
+                    f"(processor {pid} at t={t})")
+
+            if pending is not None:
+                outcome, stall = read(pid, pending, t, True)
+                if outcome == READ_MERGE:
+                    bd.merge += stall
+                    tn = t + stall
+                elif outcome == READ_HIT:
+                    pending = None
+                    bd.cpu += hit_cost
+                    tn = t + hit_cost
+                else:
+                    pending = None
+                    bd.load += stall
+                    bd.cpu += hit_cost
+                    tn = t + stall + hit_cost
+            elif i == n_ops:
                 finish[pid] = t
                 n_running -= 1
-                continue
-
-            if opcode == OP_WORK:
-                if arg < 0:
-                    raise ValueError(f"negative WORK cycles: {arg}")
-                bd.cpu += arg
-                heappush(heap, (t + arg, seq, pid)); seq += 1
-            elif opcode == OP_READ:
-                outcome, stall = read(pid, arg // line_size, t, False)
-                if outcome == READ_HIT:
-                    bd.cpu += hit_cost
-                    heappush(heap, (t + hit_cost, seq, pid)); seq += 1
-                elif outcome == READ_MERGE:
-                    bd.merge += stall
-                    retry_line[pid] = arg // line_size
-                    heappush(heap, (t + stall, seq, pid)); seq += 1
-                else:
-                    bd.load += stall
-                    bd.cpu += hit_cost
-                    heappush(heap, (t + stall + hit_cost, seq, pid)); seq += 1
-            elif opcode == OP_WRITE:
-                write(pid, arg // line_size, t)
-                bd.cpu += 1
-                heappush(heap, (t + 1, seq, pid)); seq += 1
-            elif opcode == OP_BARRIER:
-                releases = self.sync.barrier(arg).arrive(pid, t)
-                if releases is not None:
-                    for rpid, wait in releases:
-                        breakdowns[rpid].sync += wait
-                        heappush(heap, (t, seq, rpid)); seq += 1
-            elif opcode == OP_LOCK:
-                if self.sync.lock(arg).acquire(pid, t):
-                    bd.cpu += 1
-                    heappush(heap, (t + 1, seq, pid)); seq += 1
-                # else: blocked; rescheduled by the releasing processor
-            elif opcode == OP_UNLOCK:
-                handoff = self.sync.lock(arg).release(pid, t)
-                bd.cpu += 1
-                heappush(heap, (t + 1, seq, pid)); seq += 1
-                if handoff is not None:
-                    next_pid, wait = handoff
-                    nbd = breakdowns[next_pid]
-                    nbd.sync += wait
-                    nbd.cpu += 1  # the acquisition cycle of its LOCK op
-                    heappush(heap, (t + 1, seq, next_pid)); seq += 1
+                tn = None
             else:
-                raise ValueError(f"unknown opcode {opcode}")
+                opcode = ops[i]
+                arg = args[i]
+                i += 1
+                if opcode == OP_READ:
+                    outcome, stall = read(pid, arg, t, False)
+                    if outcome == READ_HIT:
+                        bd.cpu += hit_cost
+                        tn = t + hit_cost
+                    elif outcome == READ_MERGE:
+                        bd.merge += stall
+                        pending = arg
+                        tn = t + stall
+                    else:
+                        bd.load += stall
+                        bd.cpu += hit_cost
+                        tn = t + stall + hit_cost
+                elif opcode == OP_WORK:
+                    bd.cpu += arg
+                    tn = t + arg
+                elif opcode == OP_WRITE:
+                    write(pid, arg, t)
+                    bd.cpu += 1
+                    tn = t + 1
+                elif opcode == OP_BARRIER:
+                    releases = sync.barrier(arg).arrive(pid, t)
+                    if releases is not None:
+                        for rpid, wait in releases:
+                            breakdowns[rpid].sync += wait
+                            heappush(heap, (t, seq, rpid)); seq += 1
+                    tn = None
+                elif opcode == OP_LOCK:
+                    if sync.lock(arg).acquire(pid, t):
+                        bd.cpu += 1
+                        tn = t + 1
+                    else:
+                        tn = None
+                else:  # OP_UNLOCK (compile validated every opcode)
+                    handoff = sync.lock(arg).release(pid, t)
+                    bd.cpu += 1
+                    if handoff is None:
+                        tn = t + 1
+                    else:
+                        heappush(heap, (t + 1, seq, pid)); seq += 1
+                        next_pid, wait = handoff
+                        nbd = breakdowns[next_pid]
+                        nbd.sync += wait
+                        nbd.cpu += 1
+                        heappush(heap, (t + 1, seq, next_pid)); seq += 1
+                        tn = None
 
+            # ---- scheduling tail
+            if tn is None:  # blocked or finished
+                if not heap:
+                    break
+                t, _, npid = heappop(heap)
+            elif fast and (not heap or tn < heap[0][0]):
+                t = tn
+                continue
+            else:
+                t, _, npid = heappushpop(heap, (tn, seq, pid)); seq += 1
+                if npid == pid:
+                    continue
+            ip[pid] = i
+            retry_line[pid] = pending
+            pid = npid
+            bd = breakdowns[pid]
+            ops = ops_of[pid]
+            args = args_of[pid]
+            i = ip[pid]
+            n_ops = n_ops_of[pid]
+            pending = retry_line[pid]
+
+        return self._finalize(breakdowns, finish, n_running)
+
+    # ------------------------------------------------------------ wrap-up
+    def _finalize(self, breakdowns: list[TimeBreakdown],
+                  finish: list[int | None], n_running: int) -> RunResult:
+        n = self.config.n_processors
+        memory = self.memory
         if n_running > 0:
             detail = self.sync.idle_check() or "processors blocked forever"
             stuck = [pid for pid in range(n) if finish[pid] is None]

@@ -19,6 +19,13 @@ not make — replaying a 1-cluster trace against an 8-cluster machine keeps
 the 1-cluster interleaving.  The paper notes its results are "possibly
 timing dependent" in exactly this way; the test suite quantifies the gap on
 small runs (it is small, because barriers pin the phase structure).
+
+Not to be confused with :mod:`repro.sim.compiled`: a
+:class:`ReferenceTrace` is a *memory-level* record (post-engine, timing
+frozen, approximate across configurations), while a
+:class:`~repro.sim.compiled.CompiledProgram` is a *program-level* capture
+of the op stream fed to the engine — replaying one re-runs the full
+timing simulation and is bit-identical to generator execution.
 """
 
 from __future__ import annotations

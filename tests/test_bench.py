@@ -1,0 +1,89 @@
+"""The engine/sweep benchmark harness behind ``repro-clustering bench``."""
+
+import json
+
+import pytest
+
+from repro.core.bench import (AppBenchResult, bench_engine, bench_sweep,
+                              check_floor, write_report, SCHEMA_VERSION)
+from repro.core.config import MachineConfig
+
+TINY_LU = {"n": 32, "block": 8}
+TINY_RAYTRACE = {"width": 8, "height": 8, "n_spheres": 8}
+CFG = MachineConfig(n_processors=8, cluster_size=2,
+                    cache_kb_per_processor=4.0)
+
+
+def result_with(app="lu", source_ops=1000, replay_s=0.01, **over):
+    fields = dict(app=app, n_processors=8, cluster_size=2,
+                  source_ops=source_ops, stored_ops=source_ops,
+                  legacy_s=0.05, generator_s=0.04, replay_s=replay_s,
+                  capture_s=0.01)
+    fields.update(over)
+    return AppBenchResult(**fields)
+
+
+class TestBenchEngine:
+    def test_invariant_app_measures_all_paths(self):
+        r = bench_engine("lu", CFG, app_kwargs=TINY_LU)
+        assert r.app == "lu" and r.n_processors == 8
+        assert r.source_ops > 0
+        assert r.stored_ops <= r.source_ops  # WORK fusion only shrinks
+        for t in (r.legacy_s, r.generator_s, r.replay_s, r.capture_s):
+            assert t > 0
+        assert r.replay_ops_per_s > 0 and r.replay_speedup > 0
+
+    def test_dynamic_app_captures_via_recording(self):
+        r = bench_engine("raytrace", CFG, app_kwargs=TINY_RAYTRACE)
+        assert r.source_ops > 0 and r.replay_s > 0
+
+    def test_repeats_keep_fastest(self):
+        r = bench_engine("lu", CFG, app_kwargs=TINY_LU, repeats=2)
+        assert r.replay_s > 0
+
+
+class TestBenchSweep:
+    def test_modes_identical_and_timed(self):
+        sweep = bench_sweep(["lu"], MachineConfig(n_processors=8),
+                            cluster_sizes=(1, 2), cache_kb=4.0,
+                            kwargs_of={"lu": TINY_LU})
+        assert sweep.identical
+        assert sweep.n_points == 2
+        for t in (sweep.legacy_s, sweep.generator_s, sweep.cold_s,
+                  sweep.warm_s):
+            assert t > 0
+        assert sweep.cold_speedup > 0 and sweep.warm_speedup > 0
+
+
+class TestReport:
+    def test_write_report_layout(self, tmp_path):
+        out = tmp_path / "sub" / "BENCH_engine.json"  # parent auto-created
+        payload = write_report(out, [result_with()], config=CFG,
+                               extra={"note": "unit"})
+        on_disk = json.loads(out.read_text())
+        assert on_disk == json.loads(json.dumps(payload))
+        assert on_disk["schema"] == SCHEMA_VERSION
+        assert on_disk["engine"]["lu"]["replay_speedup"] == 5.0
+        assert on_disk["config"]["n_processors"] == 8
+        assert on_disk["note"] == "unit"
+
+
+class TestFloor:
+    def test_pass_and_fail(self):
+        # 1000 ops / 0.01 s = 100k ops/s measured
+        results = [result_with()]
+        assert check_floor(results, {"lu": 100_000.0}) == []
+        failures = check_floor(results, {"lu": 200_000.0})
+        assert len(failures) == 1 and "lu" in failures[0]
+
+    def test_tolerance_widens_the_floor(self):
+        results = [result_with()]  # 100k measured
+        assert check_floor(results, {"lu": 120_000.0}, tolerance=0.30) == []
+        assert check_floor(results, {"lu": 120_000.0}, tolerance=0.0) != []
+
+    def test_unknown_apps_ignored(self):
+        assert check_floor([result_with()], {"fft": 1e12}) == []
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ValueError):
+            check_floor([], {}, tolerance=1.5)

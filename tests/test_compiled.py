@@ -1,0 +1,216 @@
+"""Compiled-trace execution: capture, fusion, serialization, equivalence.
+
+The acceptance property of the compiled path is **bit-identity**: replaying
+a captured program must produce byte-identical canonical ``RunResult`` JSON
+to driving the generators, with the heap fast path on or off, at every
+cluster size.  The equivalence classes here enforce that for all nine
+applications.
+"""
+
+import pytest
+
+from repro.apps.registry import APP_NAMES, build_app
+from repro.core.config import MachineConfig
+from repro.memory.coherence import CoherentMemorySystem
+from repro.sim.compiled import (CompiledProgram, ProgramRecorder,
+                                TraceDecodeError, compile_program)
+from repro.sim.engine import Engine
+from repro.sim.program import (OP_BARRIER, OP_LOCK, OP_READ, OP_UNLOCK,
+                               OP_WORK, OP_WRITE)
+
+#: smallest problem instances that still exercise every op kind
+TINY_SIZES = {
+    "lu": dict(n=32, block=8),
+    "fft": dict(n_points=256),
+    "ocean": dict(n=16, n_vcycles=1),
+    "barnes": dict(n_particles=64, n_steps=1),
+    "fmm": dict(n_particles=64, levels=2, n_steps=1),
+    "radix": dict(n_keys=512, radix=16, n_digits=2),
+    "raytrace": dict(width=8, height=8, n_spheres=8),
+    "volrend": dict(volume_side=8, width=8, height=8, block=2),
+    "mp3d": dict(n_particles=64, n_steps=1),
+}
+
+DYNAMIC_APPS = ("barnes", "raytrace", "volrend")
+
+
+def tiny_app(name, cfg):
+    app = build_app(name, cfg, **TINY_SIZES[name])
+    app.ensure_setup()
+    return app
+
+
+def engine_for(cfg, heap_fast_path=True):
+    return Engine(cfg, CoherentMemorySystem(cfg),
+                  heap_fast_path=heap_fast_path)
+
+
+def capture(name, cfg):
+    """Capture the way the executor does: drain if invariant, else record."""
+    app = tiny_app(name, cfg)
+    if app.stream_invariant:
+        return app.compiled_program()
+    recorder = ProgramRecorder(app.program, cfg.n_processors, cfg.line_size)
+    engine_for(cfg).run(recorder.factory)
+    return recorder.finish()
+
+
+# --------------------------------------------------------------- equivalence
+
+@pytest.mark.parametrize("name", APP_NAMES)
+@pytest.mark.parametrize("cluster", [1, 4])
+def test_replay_bit_identical_all_apps(name, cluster):
+    """Generator and compiled replay agree byte-for-byte, fast path on/off."""
+    cfg = MachineConfig(n_processors=16, cluster_size=cluster,
+                        cache_kb_per_processor=4.0)
+    jsons = set()
+    for fast in (False, True):
+        app = tiny_app(name, cfg)
+        jsons.add(engine_for(cfg, fast).run(app.program).to_json())
+    program = capture(name, cfg)
+    for fast in (False, True):
+        tiny_app(name, cfg)  # placement parity: setup runs either way
+        jsons.add(engine_for(cfg, fast).run_compiled(program).to_json())
+    assert len(jsons) == 1
+
+
+@pytest.mark.parametrize("name", ["lu", "mp3d"])
+def test_replay_bit_identical_infinite_cache(name):
+    cfg = MachineConfig(n_processors=8, cluster_size=2)
+    app = tiny_app(name, cfg)
+    reference = engine_for(cfg).run(app.program).to_json()
+    program = capture(name, cfg)
+    assert engine_for(cfg).run_compiled(program).to_json() == reference
+
+
+def test_stream_invariant_capture_reusable_across_clusters():
+    """One drain of an invariant app replays correctly at other cluster sizes."""
+    cfg1 = MachineConfig(n_processors=8, cluster_size=1,
+                         cache_kb_per_processor=4.0)
+    program = capture("lu", cfg1)
+    for cluster in (2, 4):
+        cfg = MachineConfig(n_processors=8, cluster_size=cluster,
+                            cache_kb_per_processor=4.0)
+        app = tiny_app("lu", cfg)
+        want = engine_for(cfg).run(app.program).to_json()
+        tiny_app("lu", cfg)
+        got = engine_for(cfg).run_compiled(program).to_json()
+        assert got == want
+
+
+@pytest.mark.parametrize("name", DYNAMIC_APPS)
+def test_dynamic_apps_refuse_static_drain(name):
+    cfg = MachineConfig(n_processors=8, cluster_size=2)
+    app = tiny_app(name, cfg)
+    assert not app.stream_invariant
+    with pytest.raises(ValueError, match="run_recorded"):
+        app.compiled_program()
+
+
+def test_run_recorded_result_matches_replay():
+    """The recording run's result equals a replay of its own capture."""
+    cfg = MachineConfig(n_processors=8, cluster_size=2,
+                        cache_kb_per_processor=4.0)
+    app = tiny_app("raytrace", cfg)
+    result, program = app.run_recorded()
+    # a fresh instance replays with its own (identically placed) allocator
+    replayed = tiny_app("raytrace", cfg).run(program=program)
+    assert replayed.to_json() == result.to_json()
+
+
+# -------------------------------------------------------------- compilation
+
+def synthetic_factory(pid):
+    yield OP_WORK, 5
+    yield OP_WORK, 7
+    yield OP_WORK, 3
+    yield OP_READ, 200
+    yield OP_WORK, 2
+    yield OP_WRITE, 130
+    yield OP_BARRIER, 0
+    yield OP_LOCK, 1
+    yield OP_UNLOCK, 1
+
+
+def test_work_fusion_collapses_runs():
+    program = compile_program(synthetic_factory, 2, 64)
+    ops = list(program.ops[0])
+    args = list(program.args[0])
+    assert ops == [OP_WORK, OP_READ, OP_WORK, OP_WRITE, OP_BARRIER,
+                   OP_LOCK, OP_UNLOCK]
+    assert args[0] == 5 + 7 + 3          # fused run
+    assert args[1] == 200 // 64          # pre-divided line number
+    assert args[3] == 130 // 64
+    assert program.source_ops == 2 * 9   # pre-fusion count preserved
+    assert program.fused_work
+
+
+def test_fusion_can_be_disabled():
+    program = compile_program(synthetic_factory, 1, 64, fuse_work=False)
+    assert list(program.ops[0]).count(OP_WORK) == 4
+    assert not program.fused_work
+
+
+def test_fused_replay_still_bit_identical():
+    cfg = MachineConfig(n_processors=4, cluster_size=2,
+                        cache_kb_per_processor=4.0)
+    app = tiny_app("ocean", cfg)
+    want = engine_for(cfg).run(app.program).to_json()
+    for fuse in (False, True):
+        app = tiny_app("ocean", cfg)
+        program = app.compiled_program(fuse_work=fuse)
+        got = engine_for(cfg).run_compiled(program).to_json()
+        assert got == want
+
+
+def test_runtime_columns_cached_and_equal_to_arrays():
+    program = compile_program(synthetic_factory, 2, 64)
+    ops1, args1 = program.runtime_columns()
+    ops2, args2 = program.runtime_columns()
+    assert ops1 is ops2 and args1 is args2  # built once
+    assert ops1 == [list(o) for o in program.ops]
+    assert args1 == [list(a) for a in program.args]
+
+
+def test_engine_rejects_mismatched_program():
+    cfg = MachineConfig(n_processors=4, cluster_size=2)
+    program = compile_program(synthetic_factory, 2, cfg.line_size)
+    with pytest.raises(ValueError, match="processors"):
+        engine_for(cfg).run_compiled(program)
+    program = compile_program(synthetic_factory, 4, 32)
+    with pytest.raises(ValueError, match="line size"):
+        engine_for(cfg).run_compiled(program)
+
+
+# ------------------------------------------------------------- serialization
+
+def test_round_trip_preserves_everything():
+    program = compile_program(synthetic_factory, 3, 64)
+    clone = CompiledProgram.from_bytes(program.to_bytes())
+    assert clone.n_processors == program.n_processors
+    assert clone.line_size == program.line_size
+    assert clone.source_ops == program.source_ops
+    assert clone.fused_work == program.fused_work
+    assert [list(o) for o in clone.ops] == [list(o) for o in program.ops]
+    assert [list(a) for a in clone.args] == [list(a) for a in program.args]
+
+
+@pytest.mark.parametrize("mutilate", [
+    lambda b: b"XXXXXXXX" + b[8:],           # bad magic
+    lambda b: b[:20],                        # truncated header
+    lambda b: b[:-10],                       # truncated payload
+    lambda b: b[:40] + bytes([b[40] ^ 0xFF]) + b[41:],  # flipped byte
+    lambda b: b"",                           # empty
+])
+def test_corrupt_blobs_raise_decode_error(mutilate):
+    blob = compile_program(synthetic_factory, 2, 64).to_bytes()
+    with pytest.raises(TraceDecodeError):
+        CompiledProgram.from_bytes(mutilate(blob))
+
+
+def test_column_validation():
+    from array import array
+    with pytest.raises(ValueError, match="column counts"):
+        CompiledProgram([array("q")], [], 64, 0, True)
+    with pytest.raises(ValueError, match="unequal lengths"):
+        CompiledProgram([array("q", [1])], [array("q")], 64, 0, True)
