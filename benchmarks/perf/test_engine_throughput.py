@@ -67,4 +67,16 @@ def test_replay_not_slower_than_legacy(app):
 
 def test_floor_covers_every_app(floor):
     """A new application must ship with a floor entry."""
-    assert set(floor) == set(APP_NAMES)
+    apps = {k for k in floor if not k.startswith("memory:")}
+    assert apps == set(APP_NAMES)
+
+
+def test_floor_covers_memory_streams(floor):
+    """The coherence-layer microbench streams are floored too."""
+    from repro.core.bench import bench_memory, check_floor
+
+    streams = {k for k in floor if k.startswith("memory:")}
+    assert streams == {"memory:hit", "memory:capacity", "memory:sharing"}
+    results = bench_memory(n_ops=50_000, repeats=2)
+    failures = check_floor([], floor, memory=results)
+    assert not failures, failures[0]

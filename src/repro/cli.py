@@ -46,7 +46,8 @@ from .core.config import (PAPER_CACHE_SIZES_KB, PAPER_CLUSTER_SIZES,
                           PAPER_NETWORK_LOADS, MachineConfig)
 from .core.contention import (PAPER_TABLE5, ExpansionTable,
                               LoadLatencyProfiler, SharedCacheCostModel)
-from .core.executor import SweepExecutionError, SweepExecutor
+from .core.executor import (SweepExecutionError, SweepExecutor,
+                            fork_available)
 from .core.resultcache import ResultCache, TraceStore
 from .core.study import ClusteringStudy
 from .core.workingset import knee_of, working_set_curve
@@ -84,8 +85,16 @@ def _executor(args: argparse.Namespace) -> SweepExecutor:
         # the result cache's location and --no-cache switch
         store = None if args.no_cache else TraceStore(args.cache_dir)
         jobs = args.jobs or 1
+        backend = "serial"
+        if jobs > 1:
+            backend = "fork" if args.fork_server else "process"
+        if args.fork_server and not fork_available():
+            print("repro-clustering: --fork-server needs the 'fork' start "
+                  "method, which this platform does not provide",
+                  file=sys.stderr)
+            raise SystemExit(2)
         executor = SweepExecutor(
-            backend="process" if jobs > 1 else "serial",
+            backend=backend,
             max_workers=jobs if jobs > 1 else None,
             timeout=args.timeout, cache=cache,
             trace_cache=TraceCache(store))
@@ -99,15 +108,49 @@ def _study(app: str, args: argparse.Namespace) -> ClusteringStudy:
 
 
 def _cache_arg(value: str) -> float | None:
-    return None if value in ("inf", "none") else float(value)
+    """Parse one cache size: positive KB or ``'inf'``/``'none'``.
+
+    Used as an argparse ``type=`` converter, so a bad value is a usage
+    error (exit code 2), not a mid-command traceback.
+    """
+    if value in ("inf", "none"):
+        return None
+    try:
+        kb = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a cache size in KB or 'inf', got {value!r}")
+    if kb <= 0:
+        raise argparse.ArgumentTypeError(
+            f"cache size must be > 0 KB (or 'inf'), got {value}")
+    return kb
+
+
+def _cache_label(kb: float | None) -> str:
+    return "inf" if kb is None else f"{kb:g}"
 
 
 def _cache_list(value: str) -> list[float | None]:
-    return [_cache_arg(v) for v in value.split(",") if v]
+    sizes = [_cache_arg(v) for v in value.split(",") if v]
+    if not sizes:
+        raise argparse.ArgumentTypeError("expected at least one cache size")
+    return sizes
 
 
 def _int_list(value: str) -> list[int]:
-    return [int(v) for v in value.split(",") if v]
+    """Comma-separated positive ints (sweep sizes are counts, never <= 0)."""
+    try:
+        sizes = [int(v) for v in value.split(",") if v]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {value!r}")
+    if not sizes:
+        raise argparse.ArgumentTypeError("expected at least one size")
+    for n in sizes:
+        if n < 1:
+            raise argparse.ArgumentTypeError(
+                f"sizes must be >= 1, got {n}")
+    return sizes
 
 
 def _positive_int(value: str) -> int:
@@ -135,10 +178,10 @@ def _load_list(value: str) -> list[float]:
 
 def cmd_run(args: argparse.Namespace) -> int:
     config = _base_config(args).with_clusters(args.clusters).with_cache_kb(
-        _cache_arg(args.cache))
+        args.cache)
     study = _study(args.app, args)
     t0 = time.time()
-    point = study.run_point(args.clusters, _cache_arg(args.cache))
+    point = study.run_point(args.clusters, args.cache)
     print(f"# {args.app} on {config.describe()}  [{time.time() - t0:.1f}s]")
     print(summarize(point.result).format())
     return 0
@@ -269,7 +312,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     from .sim.engine import Engine
 
     config = _base_config(args).with_clusters(args.clusters).with_cache_kb(
-        _cache_arg(args.cache))
+        args.cache)
     kwargs = _app_kwargs(args.app, args)
 
     app = build_app(args.app, config, **kwargs)
@@ -297,7 +340,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from .sim.trace import TracingMemory
 
     config = _base_config(args).with_clusters(args.clusters).with_cache_kb(
-        _cache_arg(args.cache))
+        args.cache)
     app = build_app(args.app, config, **_app_kwargs(args.app, args))
     app.ensure_setup()
     memory = TracingMemory(CoherentMemorySystem(config, app.allocator))
@@ -317,7 +360,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_network(args: argparse.Namespace) -> int:
     """Contention-sensitivity sweep under the mesh interconnect model."""
-    cache = _cache_arg(args.cache)
+    cache = args.cache
     loads = sorted(set(args.loads) | {0.0})  # 0 anchors both checks below
     study = _study(args.app, args)
     t0 = time.time()
@@ -338,7 +381,7 @@ def cmd_network(args: argparse.Namespace) -> int:
     print(f"worst deviation: {worst:.2f}%\n")
 
     fig = figure_from_contention_sweep(
-        f"Contention sensitivity: {args.app}, cache {args.cache} "
+        f"Contention sensitivity: {args.app}, cache {_cache_label(args.cache)} "
         f"(bars % of 1p at the same load)", sweep)
     print(render_rows(fig))
     if args.ascii:
@@ -366,8 +409,8 @@ def cmd_network(args: argparse.Namespace) -> int:
 
 def cmd_merge(args: argparse.Namespace) -> int:
     study = _study(args.app, args)
-    sweep = study.cluster_sweep(_cache_arg(args.cache), args.cluster_sizes)
-    print(f"# merge anatomy for {args.app} (cache {args.cache})")
+    sweep = study.cluster_sweep(args.cache, args.cluster_sizes)
+    print(f"# merge anatomy for {args.app} (cache {_cache_label(args.cache)})")
     for c, row in merge_anatomy(sweep).items():
         print(f"{c:>2}p  load {row['load']:>12,.0f}  merge "
               f"{row['merge']:>12,.0f}  load+merge "
@@ -380,8 +423,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from .core.bench import (bench_engine, bench_sweep, check_floor,
-                             write_report)
+    from .core.bench import (bench_engine, bench_jobs, bench_memory,
+                             bench_sweep, check_floor, write_report)
 
     apps = list(args.apps or APP_NAMES)
     config = _base_config(args)
@@ -416,17 +459,45 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 1
 
-    write_report(args.output, rows, sweep, config)
+    memory = None
+    if not args.no_memory:
+        memory = bench_memory()
+        print("\n# memory-system microbench (coherence layer only)")
+        for m in memory:
+            print(f"  {m.stream:>9} {m.n_ops:>9,} ops "
+                  f"{m.ops_per_s:>12,.0f} ops/s")
+
+    jobs = None
+    if args.jobs_bench:
+        jobs = bench_jobs(apps, config, args.cluster_sizes,
+                          jobs=args.jobs_bench, kwargs_of=kwargs_of)
+        print(f"\n# {jobs.jobs}-worker sweep ({jobs.n_points} points, "
+              f"pool startup included)")
+        print(f"  process backend {jobs.process_s:>8.2f}s")
+        if jobs.fork_s is None:
+            print("  fork backend    unavailable on this platform")
+        else:
+            print(f"  fork backend    {jobs.fork_s:>8.2f}s "
+                  f"({jobs.fork_speedup:.2f}x)")
+        if not jobs.identical:
+            print("ERROR: backends produced different results",
+                  file=sys.stderr)
+            return 1
+
+    write_report(args.output, rows, sweep, config, memory=memory, jobs=jobs)
     print(f"\nwrote {args.output}  [{time.time() - t0:.1f}s]")
 
     if args.floor:
         floor = json.loads(Path(args.floor).read_text(encoding="utf-8"))
-        failures = check_floor(rows, floor, args.floor_tolerance)
+        failures = check_floor(rows, floor, args.floor_tolerance,
+                               memory=memory)
         if failures:
             for line in failures:
                 print(f"FLOOR REGRESSION: {line}", file=sys.stderr)
             return 1
-        covered = sorted(set(floor) & {r.app for r in rows})
+        measured = {r.app for r in rows}
+        measured |= {f"memory:{m.stream}" for m in memory or ()}
+        covered = sorted(set(floor) & measured)
         print(f"floor check passed for {', '.join(covered) or 'no apps'} "
               f"(tolerance {args.floor_tolerance:.0%})")
     return 0
@@ -444,7 +515,7 @@ def _add_global_options(p: argparse.ArgumentParser, *,
     def dflt(value: Any) -> Any:
         return argparse.SUPPRESS if suppress else value
 
-    p.add_argument("--processors", type=int, default=dflt(64),
+    p.add_argument("--processors", type=_positive_int, default=dflt(64),
                    help="total processors (default 64, the paper's machine)")
     p.add_argument("--quick", action="store_true", default=dflt(False),
                    help="reduced problem sizes for fast sanity runs")
@@ -455,6 +526,10 @@ def _add_global_options(p: argparse.ArgumentParser, *,
     p.add_argument("--jobs", type=_positive_int, default=dflt(1), metavar="N",
                    help="evaluate sweep points in N worker processes "
                    "(default 1 = serial; results are identical either way)")
+    p.add_argument("--fork-server", action="store_true", default=dflt(False),
+                   help="with --jobs N: fork-server mode — preload compiled "
+                   "traces in the parent, fork workers that inherit them "
+                   "copy-on-write (POSIX only; exits 2 elsewhere)")
     p.add_argument("--timeout", type=_positive_float, default=dflt(None),
                    metavar="SECS",
                    help="per-point wall-clock limit (process backend only); "
@@ -492,8 +567,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = add_command("run", help="simulate one app on one configuration")
     sp.add_argument("app", choices=APP_NAMES)
-    sp.add_argument("--clusters", type=int, default=1)
-    sp.add_argument("--cache", default="inf")
+    sp.add_argument("--clusters", type=_positive_int, default=1)
+    sp.add_argument("--cache", type=_cache_arg, default=None,
+                    help="per-processor cache KB or 'inf' (default inf)")
     sp.set_defaults(func=cmd_run)
 
     sp = add_command("fig2", help="infinite-cache cluster sweeps")
@@ -524,14 +600,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = add_command("workingset", help="miss rate vs cache size")
     sp.add_argument("app", choices=APP_NAMES)
-    sp.add_argument("--clusters", type=int, default=1)
+    sp.add_argument("--clusters", type=_positive_int, default=1)
     sp.set_defaults(func=cmd_workingset)
 
     sp = add_command("network",
                         help="interconnect contention sensitivity "
                         "(mesh model vs Table 1)")
     sp.add_argument("app", nargs="?", default="ocean", choices=APP_NAMES)
-    sp.add_argument("--cache", default="inf",
+    sp.add_argument("--cache", type=_cache_arg, default=None,
                     help="per-processor cache KB or 'inf' (default inf)")
     sp.add_argument("--loads", type=_load_list,
                     default=list(PAPER_NETWORK_LOADS), metavar="L,L,...",
@@ -541,20 +617,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = add_command("merge", help="load-vs-merge anatomy per cluster size")
     sp.add_argument("app", choices=APP_NAMES)
-    sp.add_argument("--cache", default="inf")
+    sp.add_argument("--cache", type=_cache_arg, default=None,
+                    help="per-processor cache KB or 'inf' (default inf)")
     sp.set_defaults(func=cmd_merge)
 
     sp = add_command("compare",
                         help="shared-cache vs snoopy shared-memory cluster")
     sp.add_argument("app", choices=APP_NAMES)
-    sp.add_argument("--clusters", type=int, default=4)
-    sp.add_argument("--cache", default="4")
+    sp.add_argument("--clusters", type=_positive_int, default=4)
+    sp.add_argument("--cache", type=_cache_arg, default=4.0)
     sp.set_defaults(func=cmd_compare)
 
     sp = add_command("trace", help="record a reference trace")
     sp.add_argument("app", choices=APP_NAMES)
-    sp.add_argument("--clusters", type=int, default=1)
-    sp.add_argument("--cache", default="inf")
+    sp.add_argument("--clusters", type=_positive_int, default=1)
+    sp.add_argument("--cache", type=_cache_arg, default=None,
+                    help="per-processor cache KB or 'inf' (default inf)")
     sp.add_argument("--output", help="save the trace to this .npz file")
     sp.set_defaults(func=cmd_trace)
 
@@ -569,6 +647,12 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--no-sweep", action="store_true",
                     help="skip the end-to-end sweep timing (engine "
                     "throughput only; much faster)")
+    sp.add_argument("--no-memory", action="store_true",
+                    help="skip the memory-system microbench")
+    sp.add_argument("--jobs-bench", type=_positive_int, default=None,
+                    metavar="N",
+                    help="also time an N-worker sweep under the process "
+                    "vs fork backends (pool startup included)")
     sp.add_argument("--floor", metavar="JSON",
                     help="floor file mapping app -> min replay ops/s; "
                     "exit 1 on regression (see benchmarks/perf/floor.json)")

@@ -1,6 +1,6 @@
 """Engine throughput and sweep benchmarking (``repro-clustering bench``).
 
-Two measurements, both written to ``BENCH_engine.json``:
+Four measurements, all written to ``BENCH_engine.json``:
 
 * **Engine throughput** (:func:`bench_engine`) — simulated operations per
   second for one application on one machine, along three paths: the
@@ -14,6 +14,17 @@ Two measurements, both written to ``BENCH_engine.json``:
   ``generator`` (fast path only), ``cold`` (compiled execution, empty
   trace cache) and ``warm`` (trace cache pre-populated).  ``cold`` pays
   one capture per app; ``warm`` replays everything.
+* **Memory-system microbench** (:func:`bench_memory`) — protocol
+  operations per second of the coherence layer alone, on synthetic
+  streams that isolate the three hot paths of the slab-allocated memory
+  core: pure cache hits, capacity eviction/refill, and cross-cluster
+  sharing (directory invalidations).  No engine, no applications — this
+  is the number the kernelized cache/directory state layout moves.
+* **Jobs backend comparison** (:func:`bench_jobs`) — wall-clock for a
+  multi-process sweep under the ``process`` backend vs the ``fork``
+  backend (fork-server mode: traces preloaded in the parent, inherited
+  copy-on-write), pool startup included.  POSIX only; on platforms
+  without ``fork`` the comparison is skipped.
 
 Note the in-tree ``legacy`` mode still benefits from shared-path work
 (coherence inlining, scheduling-loop restructure), so replay/legacy
@@ -42,8 +53,9 @@ from typing import Any, Iterable, Mapping, Sequence
 from .config import MachineConfig
 from .executor import PointSpec, evaluate_point
 
-__all__ = ["AppBenchResult", "SweepBenchResult", "bench_engine",
-           "bench_sweep", "check_floor", "write_report", "SCHEMA_VERSION"]
+__all__ = ["AppBenchResult", "SweepBenchResult", "MemoryBenchResult",
+           "JobsBenchResult", "bench_engine", "bench_sweep", "bench_memory",
+           "bench_jobs", "check_floor", "write_report", "SCHEMA_VERSION"]
 
 SCHEMA_VERSION = 1
 
@@ -245,11 +257,201 @@ def bench_sweep(apps: Sequence[str], config: MachineConfig,
     )
 
 
+@dataclass
+class MemoryBenchResult:
+    """Protocol throughput of the memory system on one synthetic stream."""
+
+    stream: str  # "hit" | "capacity" | "sharing"
+    n_ops: int
+    elapsed_s: float
+
+    @property
+    def ops_per_s(self) -> float:
+        return self.n_ops / self.elapsed_s if self.elapsed_s else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        out = asdict(self)
+        out.update(ops_per_s=round(self.ops_per_s, 1))
+        return out
+
+
+def _memory_streams(config: MachineConfig,
+                    n_ops: int) -> dict[str, list[tuple[int, int, int]]]:
+    """Precomputed ``(processor, line, is_write)`` access streams.
+
+    Built outside the timed region so the measurement sees only protocol
+    work.  Three streams, one per hot path of the memory core:
+
+    * ``hit``      — every processor cycles through a small per-cluster
+      working set that fits its cache: pure hit-path traffic (dict probe,
+      LRU touch, pending/fetcher checks);
+    * ``capacity`` — each processor strides through a footprint several
+      times its cache: the eviction/refill path (victim selection, slot
+      recycling, directory replacement hints);
+    * ``sharing``  — processors in different clusters alternately write
+      the same lines: the coherence path (directory bit-mask updates,
+      invalidations, ownership transfer).
+    """
+    n = config.n_processors
+    cluster_size = config.cluster_size
+    lines_per_cache = config.cluster_cache_lines or 64
+    streams: dict[str, list[tuple[int, int, int]]] = {}
+
+    # distinct per-cluster line ranges so clusters do not interfere
+    hit: list[tuple[int, int, int]] = []
+    ws = max(1, min(lines_per_cache // 2, 32))
+    for i in range(n_ops):
+        proc = i % n
+        line = (proc // cluster_size) * 10_000 + i % ws
+        hit.append((proc, line, 0))
+    streams["hit"] = hit
+
+    cap: list[tuple[int, int, int]] = []
+    footprint = lines_per_cache * 4
+    for i in range(n_ops):
+        proc = i % n
+        line = (proc // cluster_size) * 100_000 + (i // n) % footprint
+        cap.append((proc, line, 0))
+    streams["capacity"] = cap
+
+    shr: list[tuple[int, int, int]] = []
+    shared_lines = 64
+    for i in range(n_ops):
+        # stride by cluster_size so consecutive touches of a line come
+        # from different clusters — every write invalidates remote copies
+        proc = (i * cluster_size) % n
+        shr.append((proc, i % shared_lines, i & 1))
+    streams["sharing"] = shr
+    return streams
+
+
+def bench_memory(config: MachineConfig | None = None, n_ops: int = 200_000,
+                 repeats: int = 3) -> list[MemoryBenchResult]:
+    """Measure raw memory-system (coherence-layer) throughput.
+
+    Drives :class:`~repro.memory.coherence.CoherentMemorySystem` directly
+    with precomputed synthetic streams — no engine, no event loop — so the
+    number isolates the slab cache/directory hot paths.  Simulated time
+    advances ~200 cycles per op (enough that every pending fill resolves
+    before its next touch).  ``repeats`` keeps the fastest pass per
+    stream; a fresh memory system per pass keeps passes independent.
+    """
+    from ..memory.coherence import CoherentMemorySystem
+
+    if config is None:
+        config = MachineConfig(n_processors=8, cluster_size=4,
+                               cache_kb_per_processor=4.0)
+    results = []
+    for stream, accesses in _memory_streams(config, n_ops).items():
+        best = None
+        for _ in range(max(1, repeats)):
+            memory = CoherentMemorySystem(config)
+            read = memory.read
+            write = memory.write
+            now = 0
+            t0 = time.perf_counter()
+            for proc, line, is_write in accesses:
+                if is_write:
+                    write(proc, line, now)
+                else:
+                    read(proc, line, now)
+                now += 200
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        results.append(MemoryBenchResult(stream, len(accesses), best or 0.0))
+    return results
+
+
+@dataclass
+class JobsBenchResult:
+    """Multi-process sweep wall-clock: ``process`` vs ``fork`` backend.
+
+    ``fork_s`` is ``None`` on platforms without the fork start method.
+    Both timings include pool startup — that is where fork-server mode
+    wins (workers inherit the parent's warm trace LRU copy-on-write
+    instead of importing + re-reading the disk store).
+    """
+
+    apps: list[str]
+    cluster_sizes: list[int]
+    n_points: int
+    jobs: int
+    process_s: float
+    fork_s: float | None
+    identical: bool = True
+
+    @property
+    def fork_speedup(self) -> float:
+        if not self.fork_s:
+            return 0.0
+        return self.process_s / self.fork_s
+
+    def to_dict(self) -> dict[str, Any]:
+        out = asdict(self)
+        out.update(fork_speedup=round(self.fork_speedup, 3))
+        return out
+
+
+def bench_jobs(apps: Sequence[str], config: MachineConfig,
+               cluster_sizes: Iterable[int] = (1, 2, 4, 8),
+               cache_kb: float | None = 4.0, jobs: int = 2,
+               kwargs_of: Mapping[str, Mapping[str, Any]] | None = None,
+               ) -> JobsBenchResult:
+    """Time one multi-process sweep under each process backend.
+
+    The disk :class:`~repro.core.resultcache.TraceStore` is pre-populated
+    by a serial warmup pass (both backends start from the same steady
+    state: traces on disk, nothing in memory), then each backend runs the
+    grid with ``jobs`` workers and a cold in-memory LRU, pool startup
+    included.  The result cache stays off — every point is evaluated.
+    """
+    import tempfile
+
+    from ..core.resultcache import TraceStore
+    from ..sim.compiled import TraceCache, clear_memory_cache
+    from .executor import SweepExecutor, fork_available
+
+    kwargs_of = kwargs_of or {}
+    cluster_sizes = list(cluster_sizes)
+    specs = [PointSpec.make(app, cs, cache_kb, dict(kwargs_of.get(app, {})))
+             for app in apps for cs in cluster_sizes]
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-jobs-") as tmp:
+        store = TraceStore(tmp)
+        clear_memory_cache()
+        warm = SweepExecutor(backend="serial", trace_cache=TraceCache(store))
+        reference = [o.result.to_json() for o in warm.run(specs, config)]
+
+        timings: dict[str, float | None] = {"process": None, "fork": None}
+        payloads: dict[str, list[str]] = {}
+        for backend in ("process", "fork"):
+            if backend == "fork" and not fork_available():
+                continue
+            clear_memory_cache()
+            executor = SweepExecutor(backend=backend, max_workers=jobs,
+                                     trace_cache=TraceCache(store))
+            t0 = time.perf_counter()
+            with executor:
+                outcomes = executor.run(specs, config)
+            timings[backend] = time.perf_counter() - t0
+            payloads[backend] = [o.result.to_json() if o.ok else o.error
+                                 for o in outcomes]
+
+    identical = all(p == reference for p in payloads.values())
+    return JobsBenchResult(
+        apps=list(apps), cluster_sizes=cluster_sizes, n_points=len(specs),
+        jobs=jobs, process_s=timings["process"] or 0.0,
+        fork_s=timings["fork"], identical=identical,
+    )
+
+
 def write_report(path: str | Path,
                  engine: Sequence[AppBenchResult],
                  sweep: SweepBenchResult | None = None,
                  config: MachineConfig | None = None,
-                 extra: Mapping[str, Any] | None = None) -> dict[str, Any]:
+                 extra: Mapping[str, Any] | None = None,
+                 memory: Sequence[MemoryBenchResult] | None = None,
+                 jobs: JobsBenchResult | None = None) -> dict[str, Any]:
     """Assemble and write ``BENCH_engine.json``; returns the payload."""
     payload: dict[str, Any] = {
         "schema": SCHEMA_VERSION,
@@ -260,6 +462,10 @@ def write_report(path: str | Path,
         payload["config"] = config.to_dict()
     if sweep is not None:
         payload["sweep"] = sweep.to_dict()
+    if memory is not None:
+        payload["memory"] = {r.stream: r.to_dict() for r in memory}
+    if jobs is not None:
+        payload["jobs"] = jobs.to_dict()
     if extra:
         payload.update(extra)
     path = Path(path)
@@ -271,25 +477,32 @@ def write_report(path: str | Path,
 
 def check_floor(engine: Sequence[AppBenchResult],
                 floor: Mapping[str, float],
-                tolerance: float = 0.30) -> list[str]:
-    """Compare replay throughput against a checked-in floor.
+                tolerance: float = 0.30,
+                memory: Sequence[MemoryBenchResult] | None = None,
+                ) -> list[str]:
+    """Compare measured throughput against a checked-in floor.
 
-    ``floor`` maps app name → minimum acceptable replay ops/sec; a
-    measurement below ``floor * (1 - tolerance)`` is a regression.
-    Returns human-readable failure lines (empty = all good).  Apps absent
-    from the floor are ignored, so the floor file can cover a subset.
+    ``floor`` maps app name → minimum acceptable replay ops/sec; keys of
+    the form ``"memory:<stream>"`` (e.g. ``"memory:hit"``) instead floor
+    the :func:`bench_memory` streams.  A measurement below
+    ``floor * (1 - tolerance)`` is a regression.  Returns human-readable
+    failure lines (empty = all good).  Entries absent from the floor are
+    ignored, so the floor file can cover a subset.
     """
     if not (0.0 <= tolerance < 1.0):
         raise ValueError("tolerance must be in [0, 1)")
     failures = []
-    for r in engine:
-        want = floor.get(r.app)
+    measured = [(r.app, "replay throughput", r.replay_ops_per_s)
+                for r in engine]
+    measured += [(f"memory:{r.stream}", "protocol throughput", r.ops_per_s)
+                 for r in (memory or ())]
+    for name, what, got in measured:
+        want = floor.get(name)
         if want is None:
             continue
         limit = want * (1.0 - tolerance)
-        got = r.replay_ops_per_s
         if got < limit:
             failures.append(
-                f"{r.app}: replay throughput {got:,.0f} ops/s is below "
+                f"{name}: {what} {got:,.0f} ops/s is below "
                 f"floor {want:,.0f} - {tolerance:.0%} = {limit:,.0f}")
     return failures

@@ -273,6 +273,19 @@ class MachineConfig:
         return self.n_processors // self.cluster_size
 
     @property
+    def cluster_shift(self) -> int | None:
+        """Right-shift turning a processor id into its cluster id, or ``None``.
+
+        Defined only when ``cluster_size`` is a power of two (every paper
+        configuration); the memory systems use it to replace the per-access
+        division in ``cluster_of`` with a shift.
+        """
+        size = self.cluster_size
+        if size & (size - 1) == 0:
+            return size.bit_length() - 1
+        return None
+
+    @property
     def cluster_cache_lines(self) -> int | None:
         """Cluster cache capacity in lines (``None`` = infinite)."""
         if self.cache_kb_per_processor is None:

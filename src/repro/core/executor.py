@@ -9,7 +9,14 @@ a pluggable backend:
 * ``serial``  — in-process, point after point (the default; identical to
   the historical behaviour of :class:`~repro.core.study.ClusteringStudy`);
 * ``process`` — fan-out over a ``concurrent.futures.ProcessPoolExecutor``
-  with ``max_workers`` control and a per-point ``timeout``.
+  with ``max_workers`` control and a per-point ``timeout``;
+* ``fork``    — the process backend in **fork-server mode** (Linux/POSIX
+  only): the pool is created with the ``multiprocessing`` *fork* start
+  method after the parent has preloaded every disk-resident compiled
+  trace — decoded programs **and** their materialised replay columns —
+  into the process-wide LRU, so workers inherit warm state copy-on-write
+  instead of each re-reading and re-decompressing the on-disk
+  :class:`~repro.core.resultcache.TraceStore` per point.
 
 Guarantees:
 
@@ -53,10 +60,17 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["BACKENDS", "PointSpec", "PointOutcome", "SweepExecutor",
            "SweepExecutionError", "as_point_spec", "evaluate_point",
-           "raise_failures"]
+           "fork_available", "raise_failures"]
 
 #: the recognised execution backends
-BACKENDS = ("serial", "process")
+BACKENDS = ("serial", "process", "fork")
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` backend can run on this platform."""
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
 
 
 @dataclass(frozen=True)
@@ -219,7 +233,10 @@ class SweepExecutor:
     Parameters
     ----------
     backend:
-        ``"serial"`` (default) or ``"process"``.
+        ``"serial"`` (default), ``"process"``, or ``"fork"`` (the process
+        backend in fork-server mode — POSIX only; the first ``run`` call
+        preloads disk-resident traces in the parent, then forks workers
+        that inherit them copy-on-write).
     max_workers:
         Process-pool width; ``None`` lets the pool pick (CPU count).
         Ignored by the serial backend.
@@ -261,6 +278,10 @@ class SweepExecutor:
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r}; choose from {BACKENDS}")
+        if self.backend == "fork" and not fork_available():
+            raise ValueError(
+                "the fork backend needs the 'fork' start method, which this "
+                "platform does not provide; use backend='process'")
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be positive or None")
         if self.timeout is not None and self.timeout <= 0:
@@ -296,7 +317,13 @@ class SweepExecutor:
             pending.append(i)
 
         if pending:
-            if self.backend == "process":
+            if self.backend == "fork":
+                # fork-server mode: warm the trace LRU before the pool
+                # exists so the forked workers inherit it copy-on-write
+                if self._pool is None:
+                    self.preload_traces([specs[i] for i in pending], base)
+                self._run_process(specs, pending, base, outcomes)
+            elif self.backend == "process":
                 self._run_process(specs, pending, base, outcomes)
             else:
                 self._run_serial(specs, pending, base, outcomes)
@@ -353,9 +380,50 @@ class SweepExecutor:
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
+    def preload_traces(self, specs: Iterable[Any],
+                       base_config: MachineConfig | None = None) -> int:
+        """Warm the in-memory trace tier for ``specs`` in *this* process.
+
+        Fork-server preparation: resolves each spec's trace key, pulls
+        every disk-resident compiled program into the process-wide LRU
+        (:meth:`TraceCache.preload` — no hit/miss accounting) and
+        materialises its replay columns, so a pool forked afterwards
+        inherits ready-to-replay traces copy-on-write.  Traces that are
+        neither in memory nor on disk are left for the workers to compile
+        on demand — preloading never generates streams.  Returns the
+        number of programs made resident.
+        """
+        if not self.use_compiled or self.trace_cache is None:
+            return 0
+        from ..apps.registry import build_app  # deferred: import cycle
+        from ..sim.compiled import trace_key  # deferred: import cycle
+
+        base = base_config or MachineConfig()
+        seen: set[str] = set()
+        resident = 0
+        for spec in map(as_point_spec, specs):
+            config = spec.config_for(base)
+            app = build_app(spec.app, config, **spec.kwargs)
+            key = trace_key(spec.app, spec.kwargs, config, app.seed,
+                            stream_invariant=app.stream_invariant)
+            if key in seen:
+                continue
+            seen.add(key)
+            program = self.trace_cache.preload(key)
+            if program is not None:
+                program.runtime_columns()
+                resident += 1
+        return resident
+
     def _process_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            mp_context = None
+            if self.backend == "fork":
+                import multiprocessing
+
+                mp_context = multiprocessing.get_context("fork")
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers,
+                                             mp_context=mp_context)
         return self._pool
 
     def _run_process(self, specs: list[PointSpec], pending: list[int],

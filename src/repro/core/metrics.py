@@ -63,14 +63,28 @@ class MissCause(Enum):
     __hash__ = object.__hash__
 
 
-@dataclass
+@dataclass(slots=True)
 class MissCounters:
-    """Counts of references, hits, and misses by kind and by cause."""
+    """Counts of references, hits, and misses by kind and by cause.
 
-    references: int = 0
+    ``references`` and ``hits`` are **derived**, not stored: every access
+    is a read or a write, and every access ultimately resolves as exactly
+    one of hit / read miss / write miss / upgrade miss, so
+
+    * ``references = reads + writes``
+    * ``hits = reads + writes - read_misses - write_misses - upgrade_misses``
+
+    The protocol layer therefore increments one counter per access instead
+    of three — a real saving on the hit path, which dominates every
+    simulation.  The identities are exact whenever no access is mid-flight
+    (between a merge and its retry, a read is counted in ``reads`` but not
+    yet in ``hits``/``read_misses``); end-of-run results, serialization and
+    aggregation all satisfy them.  Serialized payloads still carry both
+    keys, byte-identical to the stored-counter format.
+    """
+
     reads: int = 0
     writes: int = 0
-    hits: int = 0
     read_misses: int = 0
     write_misses: int = 0
     upgrade_misses: int = 0
@@ -82,6 +96,17 @@ class MissCounters:
     prefetch_hits: int = 0
     by_cause: dict[MissCause, int] = field(
         default_factory=lambda: {c: 0 for c in MissCause})
+
+    @property
+    def references(self) -> int:
+        """Total accesses (every reference is a read or a write)."""
+        return self.reads + self.writes
+
+    @property
+    def hits(self) -> int:
+        """Accesses that resolved in-cache (references minus all misses)."""
+        return (self.reads + self.writes - self.read_misses
+                - self.write_misses - self.upgrade_misses)
 
     @property
     def misses(self) -> int:
@@ -102,11 +127,14 @@ class MissCounters:
         self.by_cause[cause] += 1
 
     def merged_into(self, other: "MissCounters") -> None:
-        """Accumulate self into ``other`` (used to aggregate clusters)."""
-        other.references += self.references
+        """Accumulate self into ``other`` (used to aggregate clusters).
+
+        The derived ``references``/``hits`` need no accumulation: both are
+        linear in the stored fields, so the sum's derived values equal the
+        derived values' sum.
+        """
         other.reads += self.reads
         other.writes += self.writes
-        other.hits += self.hits
         other.read_misses += self.read_misses
         other.write_misses += self.write_misses
         other.upgrade_misses += self.upgrade_misses
@@ -117,9 +145,15 @@ class MissCounters:
             other.by_cause[cause] += n
 
     # ------------------------------------------------------- serialization
+    #: JSON keys, in the emitted order; references/hits are derived but
+    #: still serialized so the payload format is unchanged
     _INT_FIELDS = ("references", "reads", "writes", "hits", "read_misses",
                    "write_misses", "upgrade_misses", "merges",
                    "merge_refetches", "prefetch_hits")
+    #: the stored (non-derived) subset — what the constructor accepts
+    _STORED_FIELDS = ("reads", "writes", "read_misses", "write_misses",
+                      "upgrade_misses", "merges", "merge_refetches",
+                      "prefetch_hits")
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-JSON representation (cause keys become their strings)."""
@@ -129,16 +163,29 @@ class MissCounters:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "MissCounters":
-        """Inverse of :meth:`to_dict`; raises ``ValueError`` on bad shape."""
+        """Inverse of :meth:`to_dict`; raises ``ValueError`` on bad shape.
+
+        ``references``/``hits`` must be present (every serialized payload
+        carries them) and must satisfy the derivation identities — a
+        mismatch means the payload was hand-edited or corrupted.
+        """
         try:
-            kwargs = {f: _num(data[f]) for f in cls._INT_FIELDS}
+            kwargs = {f: _num(data[f]) for f in cls._STORED_FIELDS}
+            references = _num(data["references"])
+            hits = _num(data["hits"])
             by_cause = {MissCause(k): _num(n)
                         for k, n in data["by_cause"].items()}
         except (KeyError, TypeError, ValueError, AttributeError) as exc:
             raise ValueError(f"malformed MissCounters payload: {exc}") from exc
         for cause in MissCause:  # absent causes count zero
             by_cause.setdefault(cause, 0)
-        return cls(by_cause=by_cause, **kwargs)
+        out = cls(by_cause=by_cause, **kwargs)
+        if references != out.references or hits != out.hits:
+            raise ValueError(
+                f"inconsistent MissCounters payload: references={references} "
+                f"hits={hits} but derived references={out.references} "
+                f"hits={out.hits}")
+        return out
 
 
 @dataclass
@@ -193,9 +240,14 @@ class NetworkStats:
         return cls(peak_link_utilization=peak, **kwargs)
 
 
-@dataclass
+@dataclass(slots=True)
 class TimeBreakdown:
-    """Execution time split into the paper's four stacked components."""
+    """Execution time split into the paper's four stacked components.
+
+    ``slots=True``: the engine's replay loop increments components on every
+    op, and slot descriptors make those attribute stores a fixed-offset
+    write instead of an instance-dict update.
+    """
 
     cpu: int = 0
     load: int = 0

@@ -1,22 +1,28 @@
 """Memory-system substrate: address space, page placement, cluster caches,
-full-bit-vector directory, and the invalidation coherence protocol."""
+full-bit-vector directory, and the invalidation coherence protocol.
+
+Cache and directory state is slab-allocated (flat ``array('q')`` columns,
+packed-int directory entries); the object-per-line reference
+implementations live on in :mod:`repro.memory.refmodel` for the property
+test suite.
+"""
 
 from .address import AddressSpace, Region, line_of, page_of
 from .allocation import PageAllocator
 from .cache import (EXCLUSIVE, SHARED, Eviction, FullyAssociativeCache,
-                    LineEntry, SetAssociativeCache, make_cache)
+                    SetAssociativeCache, make_cache)
 from .coherence import (READ_HIT, READ_MERGE, READ_MISS,
                         CoherentMemorySystem)
-from .directory import (DIR_EXCLUSIVE, DIR_SHARED, NOT_CACHED, DirEntry,
+from .directory import (DIR_EXCLUSIVE, DIR_SHARED, NOT_CACHED, SHARER_SHIFT,
                         Directory)
 from .snoopy import SnoopyClusterMemorySystem
 
 __all__ = [
     "AddressSpace", "Region", "line_of", "page_of",
     "PageAllocator",
-    "SHARED", "EXCLUSIVE", "LineEntry", "Eviction",
+    "SHARED", "EXCLUSIVE", "Eviction",
     "FullyAssociativeCache", "SetAssociativeCache", "make_cache",
-    "NOT_CACHED", "DIR_SHARED", "DIR_EXCLUSIVE", "DirEntry", "Directory",
+    "NOT_CACHED", "DIR_SHARED", "DIR_EXCLUSIVE", "SHARER_SHIFT", "Directory",
     "READ_HIT", "READ_MERGE", "READ_MISS", "CoherentMemorySystem",
     "SnoopyClusterMemorySystem",
 ]

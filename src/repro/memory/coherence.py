@@ -22,9 +22,30 @@ The protocol operates at *cluster* granularity: all processors behind one
 shared cache are a single coherence participant, which is exactly the
 mechanism by which clustering obviates communication.
 
+Hot-path layout
+---------------
 The two hot entry points, :meth:`CoherentMemorySystem.read` and
 :meth:`CoherentMemorySystem.write`, take line numbers (the simulation engine
-divides byte addresses by the line size once).
+divides byte addresses by the line size once) and run against **flat
+state**, allocating nothing per access:
+
+* each cluster's cache is bound once as a *kernel tuple*
+  ``(slot_of, state, pending, fetcher, free)`` — the slab columns of
+  :class:`~repro.memory.cache.FullyAssociativeCache` — so a hit is a dict
+  probe plus two array indexings and a miss recycles the victim's slot in
+  place;
+* the directory is its packed-int table (``dict line -> (mask << 2) |
+  state``), so directory transitions are single int ops and the sole-owner
+  writeback test is one comparison;
+* the four flat Table-1 miss latencies return **interned** ``(READ_MISS,
+  latency)`` transition tuples instead of allocating a fresh pair per miss;
+* ``hits`` and ``references`` are *derived* on
+  :class:`~repro.core.metrics.MissCounters` (see there), so the hit path
+  increments one counter, not three.
+
+A hop-based provider (MeshLatency) is stateful — contention queues,
+counters — so it keeps the ``miss_cycles`` call and per-miss tuple; the
+set-associative cache extension likewise keeps polymorphic cache calls.
 """
 
 from __future__ import annotations
@@ -33,10 +54,8 @@ from ..core.config import MachineConfig
 from ..core.metrics import MissCause, MissCounters, NetworkStats
 from ..network.latency import TableLatency, make_latency_provider
 from .allocation import PageAllocator
-from .cache import (EXCLUSIVE, SHARED, FullyAssociativeCache, LineEntry,
-                    make_cache)
-from .directory import (DIR_EXCLUSIVE, DIR_SHARED, NOT_CACHED, DirEntry,
-                        Directory)
+from .cache import EXCLUSIVE, SHARED, FullyAssociativeCache, make_cache
+from .directory import DIR_EXCLUSIVE, DIR_SHARED, NOT_CACHED, Directory
 
 __all__ = ["READ_HIT", "READ_MERGE", "READ_MISS", "CoherentMemorySystem"]
 
@@ -92,32 +111,38 @@ class CoherentMemorySystem:
         # Per-cluster line history for cold/coherence/capacity classification
         # (see the module-level comment above _COLD for the encoding).
         self._history: list[dict[int, MissCause]] = [dict() for _ in range(config.n_clusters)]
-        self._cluster_shift = (config.cluster_size.bit_length() - 1
-                               if config.cluster_size & (config.cluster_size - 1) == 0
-                               else None)
+        self._cluster_shift = config.cluster_shift
         # --- hot-path precomputation ----------------------------------
         # The flat Table-1 latencies are inlined on the miss path (the
-        # dominant per-op cost of a simulation); a hop-based provider
-        # (MeshLatency) is stateful — contention queues, counters — so it
-        # keeps the miss_cycles call.
+        # dominant per-op cost of a simulation) and their (READ_MISS,
+        # latency) transition tuples are interned up front.
         self._flat = isinstance(self.latency, TableLatency)
         model = config.latency
         self._local_clean = model.local_clean
         self._remote_clean = model.remote_clean
         self._local_dirty_remote = model.local_dirty_remote
         self._remote_dirty_3p = model.remote_dirty_third_party
+        self._t_local_clean = (READ_MISS, model.local_clean)
+        self._t_remote_clean = (READ_MISS, model.remote_clean)
+        self._t_local_dirty = (READ_MISS, model.local_dirty_remote)
+        self._t_remote_dirty_3p = (READ_MISS, model.remote_dirty_third_party)
         # live views of allocator page bindings for the in-line home lookup
         # (first touch of a page still goes through the allocator)
         self._page_home = self.allocator._page_home
         self._lines_per_page = self.allocator._lines_per_page
-        # Fully associative caches (the paper's model) expose their line
-        # dicts so lookup / LRU touch / install run as plain dict ops with
-        # no method call and no Eviction allocation; the set-associative
-        # extension keeps the polymorphic calls.
-        self._line_maps = ([c._lines for c in self.caches]
-                           if all(type(c) is FullyAssociativeCache
-                                  for c in self.caches) else None)
+        # Fully associative caches (the paper's model) expose their slab
+        # columns; binding them as per-cluster kernel tuples lets the hot
+        # path run as plain dict/array ops with no method call and no
+        # per-line object.  The set-associative extension keeps the
+        # polymorphic calls.
+        self._kernels = (
+            [(c.slot_of, c.state, c.pending, c.fetcher, c.free)
+             for c in self.caches]
+            if all(type(c) is FullyAssociativeCache for c in self.caches)
+            else None)
         self._capacity_lines = capacity
+        # the directory's packed table, bound once for in-line transitions
+        self._dtable = self.directory.packed
 
     # ------------------------------------------------------------------ hot
     def cluster_of(self, processor: int) -> int:
@@ -139,42 +164,51 @@ class CoherentMemorySystem:
         ``is_retry`` suppresses double-counting of the reference when the
         engine re-issues a merged read.
 
-        The miss path inlines what used to be ``_classify`` / ``_read_fill``
-        / ``_install`` / ``_retire`` helper calls: it runs once per miss —
-        the dominant per-op cost of a whole simulation — and the ~8 Python
-        frames it saves are worth the longer method body.  The state
-        transitions are the same, in the same order.
+        The miss path inlines the classify / directory-transaction /
+        install / retire sequence: it runs once per miss — the dominant
+        per-op cost of a whole simulation — and the ~8 Python frames it
+        saves are worth the longer method body.  The state transitions are
+        the same as the method-per-step form, in the same order.
         """
         shift = self._cluster_shift
         cluster = (processor >> shift if shift is not None
                    else processor // self.config.cluster_size)
         ctr = self.counters[cluster]
         if not is_retry:
-            ctr.references += 1
             ctr.reads += 1
-        line_maps = self._line_maps
-        if line_maps is not None:
-            lines = line_maps[cluster]
-            entry = lines.get(line)
-            if entry is not None and self._capacity_lines is not None:
-                # LRU touch: delete + reinsert keeps dict order = LRU order
-                del lines[line]
-                lines[line] = entry
+        kernels = self._kernels
+        if kernels is not None:
+            kern = kernels[cluster]
+            slot_of = kern[0]
+            slot = slot_of.get(line, -1)
+            if slot >= 0:
+                if self._capacity_lines is not None:
+                    # LRU touch: delete + reinsert keeps dict order = LRU
+                    del slot_of[line]
+                    slot_of[line] = slot
+                pending_until = kern[2][slot]
+                if pending_until > now:
+                    ctr.merges += 1
+                    return READ_MERGE, pending_until - now
+                fetcher = kern[3][slot]
+                if fetcher != -1 and fetcher != processor:
+                    ctr.prefetch_hits += 1
+                    kern[3][slot] = -1
+                return _HIT
         else:
-            lines = None
-            entry = self.caches[cluster].lookup(line)
-        if entry is not None:
-            if entry.pending_until > now:
-                ctr.merges += 1
-                return READ_MERGE, entry.pending_until - now
-            ctr.hits += 1
-            fetcher = entry.fetcher
-            if fetcher != -1 and fetcher != processor:
-                # first touch by someone other than the fetching processor:
-                # the fetch acted as a prefetch for this cluster mate
-                ctr.prefetch_hits += 1
-                entry.fetcher = -1
-            return _HIT
+            kern = None
+            cache = self.caches[cluster]
+            slot = cache.lookup(line)
+            if slot >= 0:
+                pending_until = cache.pending[slot]
+                if pending_until > now:
+                    ctr.merges += 1
+                    return READ_MERGE, pending_until - now
+                fetcher = cache.fetcher[slot]
+                if fetcher != -1 and fetcher != processor:
+                    ctr.prefetch_hits += 1
+                    cache.fetcher[slot] = -1
+                return _HIT
         if is_retry:
             # Line was invalidated while we were merged on its fill.
             ctr.merge_refetches += 1
@@ -185,83 +219,90 @@ class CoherentMemorySystem:
         page_home = self._page_home.get(line // self._lines_per_page)
         home = (page_home if page_home is not None
                 else self.allocator.home_of_line(line))
-        dentries = self.directory._entries
-        dentry = dentries.get(line)
-        if dentry is None:
-            dentry = DirEntry()
-            dentries[line] = dentry
-        if dentry.state == DIR_EXCLUSIVE:
-            sharers = dentry.sharers
-            owner = sharers.bit_length() - 1
+        dtable = self._dtable
+        packed = dtable.get(line, 0)
+        if packed & 3 == DIR_EXCLUSIVE:
+            owner = packed.bit_length() - 3
             if self._flat:
                 if owner == cluster:
                     raise ValueError(
                         "requesting cluster cannot be the dirty owner on a miss")
                 if cluster == home:
-                    latency = self._local_dirty_remote
+                    result = self._t_local_dirty
                 elif owner == home:
-                    latency = self._remote_clean
+                    result = self._t_remote_clean
                 else:
-                    latency = self._remote_dirty_3p
+                    result = self._t_remote_dirty_3p
+                latency = result[1]
             else:
                 latency = self.latency.miss_cycles(cluster, home, owner, now)
+                result = (READ_MISS, latency)
             # Owner keeps the data but downgrades; reader joins the sharers.
-            if line_maps is not None:
-                line_maps[owner][line].state = SHARED
+            if kernels is not None:
+                ok = kernels[owner]
+                ok[1][ok[0][line]] = SHARED
             else:
                 self.caches[owner].downgrade(line)
-            dentry.state = DIR_SHARED
-            dentry.sharers = sharers | (1 << cluster)
+            dtable[line] = (packed & -4) | (4 << cluster) | DIR_SHARED
         else:
             if self._flat:
-                latency = (self._local_clean if cluster == home
-                           else self._remote_clean)
+                result = (self._t_local_clean if cluster == home
+                          else self._t_remote_clean)
+                latency = result[1]
             else:
                 latency = self.latency.miss_cycles(cluster, home, None, now)
-            dentry.state = DIR_SHARED
-            dentry.sharers |= 1 << cluster
-        if lines is not None:
+                result = (READ_MISS, latency)
+            dtable[line] = (packed & -4) | (4 << cluster) | DIR_SHARED
+        if kern is not None:
             cache = self.caches[cluster]
+            state_col = kern[1]
             cap = self._capacity_lines
-            if cap is not None and len(lines) >= cap:
-                vline = next(iter(lines))
-                ventry = lines.pop(vline)
-                vstate = ventry.state
+            if cap is not None and len(slot_of) >= cap:
+                vline = next(iter(slot_of))
+                slot = slot_of.pop(vline)
+                vstate = state_col[slot]
                 cache.evictions += 1
-                # recycle the victim's LineEntry for the incoming line
-                ventry.state = SHARED
-                ventry.pending_until = now + latency
-                ventry.fetcher = processor
-                lines[line] = ventry
+                # recycle the victim's slot for the incoming line
+                state_col[slot] = SHARED
+                kern[2][slot] = now + latency
+                kern[3][slot] = processor
+                cache.tag[slot] = line
+                slot_of[line] = slot
                 cache.inserts += 1
                 # retire the victim (the body of _retire_inline, saved a
                 # call on what is the common case of every capacity miss)
                 history[vline] = _CAPACITY
-                vdentry = dentries.get(vline)
                 if vstate == EXCLUSIVE:
-                    if (vdentry is not None
-                            and vdentry.state == DIR_EXCLUSIVE
-                            and vdentry.sharers == 1 << cluster):
-                        vdentry.state = NOT_CACHED
-                        vdentry.sharers = 0
+                    if dtable.get(vline, 0) == (4 << cluster) | DIR_EXCLUSIVE:
+                        del dtable[vline]
                         self.directory.writebacks += 1
-                elif vdentry is not None:
-                    vdentry.sharers &= ~(1 << cluster)
-                    self.directory.replacement_hints += 1
-                    if vdentry.sharers == 0:
-                        vdentry.state = NOT_CACHED
+                else:
+                    vpacked = dtable.get(vline)
+                    if vpacked is not None:
+                        vpacked &= ~(4 << cluster)
+                        self.directory.replacement_hints += 1
+                        if vpacked >> 2:
+                            dtable[vline] = vpacked
+                        else:
+                            del dtable[vline]
             else:
-                lines[line] = LineEntry(SHARED, now + latency, processor)
+                free = kern[4]
+                slot = free.pop() if free else cache._grow()
+                state_col[slot] = SHARED
+                kern[2][slot] = now + latency
+                kern[3][slot] = processor
+                cache.tag[slot] = line
+                slot_of[line] = slot
                 cache.inserts += 1
         else:
             victim = self.caches[cluster].insert(line, SHARED, now + latency,
                                                  processor)
             if victim is not None:
                 self._retire_inline(cluster, victim.line, victim.state,
-                                    history, dentries)
+                                    history, dtable)
         ctr.read_misses += 1
         ctr.by_cause[cause] += 1
-        return READ_MISS, latency
+        return result
 
     def write(self, processor: int, line: int, now: int) -> None:
         """Process a write by ``processor`` to ``line`` at time ``now``.
@@ -274,39 +315,45 @@ class CoherentMemorySystem:
         cluster = (processor >> shift if shift is not None
                    else processor // self.config.cluster_size)
         ctr = self.counters[cluster]
-        ctr.references += 1
         ctr.writes += 1
-        cache = self.caches[cluster]
-        line_maps = self._line_maps
-        if line_maps is not None:
-            lines = line_maps[cluster]
-            entry = lines.get(line)
-            if entry is not None and self._capacity_lines is not None:
-                del lines[line]
-                lines[line] = entry
-        else:
-            lines = None
-            entry = cache.lookup(line)
         directory = self.directory
-        dentries = directory._entries
-        if entry is not None:
-            if entry.state == EXCLUSIVE:
-                ctr.hits += 1
+        dtable = self._dtable
+        kernels = self._kernels
+        if kernels is not None:
+            kern = kernels[cluster]
+            slot_of = kern[0]
+            slot = slot_of.get(line, -1)
+            if slot >= 0:
+                if self._capacity_lines is not None:
+                    del slot_of[line]
+                    slot_of[line] = slot
+                state_col = kern[1]
+                if state_col[slot] == EXCLUSIVE:
+                    return
+                # UPGRADE: present but SHARED -> invalidate other sharers.
+                ctr.upgrade_misses += 1
+                others = (dtable.get(line, 0) >> 2) & ~(1 << cluster)
+                if others:
+                    self._invalidate_bits(line, others)
+                    directory.invalidations_sent += others.bit_count()
+                dtable[line] = (4 << cluster) | DIR_EXCLUSIVE
+                state_col[slot] = EXCLUSIVE
                 return
-            # UPGRADE: present but SHARED -> invalidate other sharers.
-            ctr.upgrade_misses += 1
-            dentry = dentries.get(line)
-            if dentry is None:
-                dentry = DirEntry()
-                dentries[line] = dentry
-            others = dentry.sharers & ~(1 << cluster)
-            if others:
-                self._invalidate_bits(line, others)
-                directory.invalidations_sent += others.bit_count()
-            dentry.state = DIR_EXCLUSIVE
-            dentry.sharers = 1 << cluster
-            entry.state = EXCLUSIVE
-            return
+        else:
+            kern = None
+            cache = self.caches[cluster]
+            slot = cache.lookup(line)
+            if slot >= 0:
+                if cache.state[slot] == EXCLUSIVE:
+                    return
+                ctr.upgrade_misses += 1
+                others = (dtable.get(line, 0) >> 2) & ~(1 << cluster)
+                if others:
+                    self._invalidate_bits(line, others)
+                    directory.invalidations_sent += others.bit_count()
+                dtable[line] = (4 << cluster) | DIR_EXCLUSIVE
+                cache.state[slot] = EXCLUSIVE
+                return
 
         # ---- WRITE miss: fetch exclusive; latency hidden, line pending.
         history = self._history[cluster]
@@ -314,12 +361,9 @@ class CoherentMemorySystem:
         page_home = self._page_home.get(line // self._lines_per_page)
         home = (page_home if page_home is not None
                 else self.allocator.home_of_line(line))
-        dentry = dentries.get(line)
-        if dentry is None:
-            dentry = DirEntry()
-            dentries[line] = dentry
-        if dentry.state == DIR_EXCLUSIVE:
-            owner = dentry.sharers.bit_length() - 1
+        packed = dtable.get(line, 0)
+        if packed & 3 == DIR_EXCLUSIVE:
+            owner = packed.bit_length() - 3
             if self._flat:
                 if owner == cluster:
                     raise ValueError(
@@ -338,69 +382,78 @@ class CoherentMemorySystem:
                            else self._remote_clean)
             else:
                 latency = self.latency.miss_cycles(cluster, home, None, now)
-        others = dentry.sharers & ~(1 << cluster)
+        others = (packed >> 2) & ~(1 << cluster)
         if others:
             self._invalidate_bits(line, others)
         directory.invalidations_sent += others.bit_count()
-        dentry.state = DIR_EXCLUSIVE
-        dentry.sharers = 1 << cluster
-        if lines is not None:
+        dtable[line] = (4 << cluster) | DIR_EXCLUSIVE
+        if kern is not None:
+            cache = self.caches[cluster]
+            state_col = kern[1]
             cap = self._capacity_lines
-            if cap is not None and len(lines) >= cap:
-                vline = next(iter(lines))
-                ventry = lines.pop(vline)
-                vstate = ventry.state
+            if cap is not None and len(slot_of) >= cap:
+                vline = next(iter(slot_of))
+                slot = slot_of.pop(vline)
+                vstate = state_col[slot]
                 cache.evictions += 1
-                ventry.state = EXCLUSIVE
-                ventry.pending_until = now + latency
-                ventry.fetcher = processor
-                lines[line] = ventry
+                state_col[slot] = EXCLUSIVE
+                kern[2][slot] = now + latency
+                kern[3][slot] = processor
+                cache.tag[slot] = line
+                slot_of[line] = slot
                 cache.inserts += 1
                 history[vline] = _CAPACITY
-                vdentry = dentries.get(vline)
                 if vstate == EXCLUSIVE:
-                    if (vdentry is not None
-                            and vdentry.state == DIR_EXCLUSIVE
-                            and vdentry.sharers == 1 << cluster):
-                        vdentry.state = NOT_CACHED
-                        vdentry.sharers = 0
+                    if dtable.get(vline, 0) == (4 << cluster) | DIR_EXCLUSIVE:
+                        del dtable[vline]
                         self.directory.writebacks += 1
-                elif vdentry is not None:
-                    vdentry.sharers &= ~(1 << cluster)
-                    self.directory.replacement_hints += 1
-                    if vdentry.sharers == 0:
-                        vdentry.state = NOT_CACHED
+                else:
+                    vpacked = dtable.get(vline)
+                    if vpacked is not None:
+                        vpacked &= ~(4 << cluster)
+                        self.directory.replacement_hints += 1
+                        if vpacked >> 2:
+                            dtable[vline] = vpacked
+                        else:
+                            del dtable[vline]
             else:
-                lines[line] = LineEntry(EXCLUSIVE, now + latency, processor)
+                free = kern[4]
+                slot = free.pop() if free else cache._grow()
+                state_col[slot] = EXCLUSIVE
+                kern[2][slot] = now + latency
+                kern[3][slot] = processor
+                cache.tag[slot] = line
+                slot_of[line] = slot
                 cache.inserts += 1
         else:
             victim = cache.insert(line, EXCLUSIVE, now + latency, processor)
             if victim is not None:
                 self._retire_inline(cluster, victim.line, victim.state,
-                                    history, dentries)
+                                    history, dtable)
         ctr.write_misses += 1
         ctr.by_cause[cause] += 1
 
     # -------------------------------------------------- miss-path helpers
     def _retire_inline(self, cluster: int, vline: int, vstate: int,
-                       history: dict, dentries: dict) -> None:
+                       history: dict, dtable: dict) -> None:
         """Directory bookkeeping for an evicted line (uncommon subpath)."""
         history[vline] = _CAPACITY
-        dentry = dentries.get(vline)
         if vstate == EXCLUSIVE:
-            # writeback: data returns home, line NOT_CACHED
-            if (dentry is not None and dentry.state == DIR_EXCLUSIVE
-                    and dentry.sharers == 1 << cluster):
-                dentry.state = NOT_CACHED
-                dentry.sharers = 0
+            # writeback: data returns home, line NOT_CACHED (pruned)
+            if dtable.get(vline, 0) == (4 << cluster) | DIR_EXCLUSIVE:
+                del dtable[vline]
                 self.directory.writebacks += 1
-        elif dentry is not None:
+        else:
             # replacement hint: clear the sharer bit so the directory never
-            # sends a useless invalidation later
-            dentry.sharers &= ~(1 << cluster)
-            self.directory.replacement_hints += 1
-            if dentry.sharers == 0:
-                dentry.state = NOT_CACHED
+            # sends a useless invalidation later; prune when the mask empties
+            vpacked = dtable.get(vline)
+            if vpacked is not None:
+                vpacked &= ~(4 << cluster)
+                self.directory.replacement_hints += 1
+                if vpacked >> 2:
+                    dtable[vline] = vpacked
+                else:
+                    del dtable[vline]
 
     def _invalidate_bits(self, line: int, bits: int) -> None:
         """Instantaneously invalidate the cached copies named by ``bits``.
@@ -413,13 +466,16 @@ class CoherentMemorySystem:
         few of many clusters doesn't walk every bit position.
         """
         history = self._history
-        line_maps = self._line_maps
-        if line_maps is not None:
+        kernels = self._kernels
+        if kernels is not None:
             while bits:
                 low = bits & -bits
                 bits ^= low
                 cluster = low.bit_length() - 1
-                if line_maps[cluster].pop(line, None) is not None:
+                kern = kernels[cluster]
+                slot = kern[0].pop(line, -1)
+                if slot >= 0:
+                    kern[4].append(slot)
                     history[cluster][line] = _COHERENCE
         else:
             caches = self.caches
@@ -447,42 +503,59 @@ class CoherentMemorySystem:
 
         Used by tests and (cheaply) by long-running debug builds:
 
+        * every live directory entry has a non-empty sharer mask (pruning
+          means NOT_CACHED entries simply do not exist);
         * a line EXCLUSIVE at the directory is EXCLUSIVE in exactly the
           owner's cache and nowhere else;
         * a line SHARED at the directory is SHARED in every cache whose bit
           is set (hints guarantee no stale bits);
-        * a line NOT_CACHED is nowhere;
-        * no cache exceeds its capacity.
+        * a line without an entry is nowhere;
+        * no cache exceeds its capacity, and slab slot accounting balances
+          (every slot is either mapped by one line or on the free list).
         """
-        for line in self.directory.lines():
-            dentry = self.directory.peek(line)
-            assert dentry is not None
+        directory = self.directory
+        seen = set()
+        for line in directory.lines():
+            seen.add(line)
+            state = directory.state_of(line)
+            if state == NOT_CACHED or directory.sharer_mask(line) == 0:
+                raise AssertionError(
+                    f"line {line:#x} has a live entry with no sharers "
+                    f"(pruning failed)")
             for cluster, cache in enumerate(self.caches):
-                state = cache.state_of(line)
-                if dentry.state == NOT_CACHED:
-                    if state is not None:
-                        raise AssertionError(
-                            f"line {line:#x} NOT_CACHED but in cache {cluster}")
-                elif dentry.state == DIR_SHARED:
-                    if dentry.is_sharer(cluster) and state != SHARED:
+                cstate = cache.state_of(line)
+                if state == DIR_SHARED:
+                    if directory.is_sharer(line, cluster) and cstate != SHARED:
                         raise AssertionError(
                             f"line {line:#x} SHARED at dir, cluster {cluster} "
-                            f"bit set, cache state {state}")
-                    if not dentry.is_sharer(cluster) and state is not None:
+                            f"bit set, cache state {cstate}")
+                    if not directory.is_sharer(line, cluster) and cstate is not None:
                         raise AssertionError(
                             f"line {line:#x} cached at {cluster} without "
                             f"a sharer bit")
                 else:  # DIR_EXCLUSIVE
-                    if cluster == dentry.owner and state != EXCLUSIVE:
+                    owner = directory.owner_of(line)
+                    if cluster == owner and cstate != EXCLUSIVE:
                         raise AssertionError(
                             f"line {line:#x} EXCL at dir, owner {cluster} "
-                            f"cache state {state}")
-                    if cluster != dentry.owner and state is not None:
+                            f"cache state {cstate}")
+                    if cluster != owner and cstate is not None:
                         raise AssertionError(
-                            f"line {line:#x} EXCL owned by {dentry.owner} "
+                            f"line {line:#x} EXCL owned by {owner} "
                             f"but cached at {cluster}")
         for cluster, cache in enumerate(self.caches):
             if cache.capacity_lines is not None and len(cache) > cache.capacity_lines:
                 raise AssertionError(
                     f"cache {cluster} over capacity: {len(cache)} > "
                     f"{cache.capacity_lines}")
+            for line in cache.resident_lines():
+                if line not in seen:
+                    raise AssertionError(
+                        f"line {line:#x} cached at {cluster} but pruned "
+                        f"from the directory")
+            if type(cache) is FullyAssociativeCache:
+                if len(cache.slot_of) + len(cache.free) != len(cache.state):
+                    raise AssertionError(
+                        f"cache {cluster} slot leak: {len(cache.slot_of)} "
+                        f"mapped + {len(cache.free)} free != "
+                        f"{len(cache.state)} slots")

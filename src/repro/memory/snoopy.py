@@ -24,7 +24,12 @@ processor's cached copy makes the cluster a sharer).
 The class exposes the same hot interface as
 :class:`~repro.memory.coherence.CoherentMemorySystem` (``read``/``write``/
 ``aggregate_counters``/``counters``), so the engine and the study driver
-accept either interchangeably.
+accept either interchangeably.  Like the shared-cache system it runs on the
+slab cache columns (slot-indexed state, no per-line objects), derives
+``hits``/``references`` on :class:`~repro.core.metrics.MissCounters`
+instead of incrementing them, precomputes each cluster's processor range
+once (``_snoop`` walks the bus on every miss), and interns the
+cache-to-cache transition tuple.
 """
 
 from __future__ import annotations
@@ -51,6 +56,9 @@ DEFAULT_C2C_LATENCY = 10
 _RESIDENT = 0
 _EVICTED = 1
 _INVALIDATED = 2
+
+#: preallocated hit result (see coherence._HIT)
+_HIT = (READ_HIT, 0)
 
 
 class SnoopyClusterMemorySystem:
@@ -90,15 +98,36 @@ class SnoopyClusterMemorySystem:
         self.c2c_transfers = 0
         self._history: list[dict[int, int]] = [dict()
                                                for _ in range(config.n_processors)]
+        self._cluster_shift = config.cluster_shift
+        # each cluster's processor ids, computed once — _snoop walks this
+        # on every miss, and range objects are reusable
+        self._procs = [config.processors_of(c)
+                       for c in range(config.n_clusters)]
+        self._t_c2c = (READ_MISS, c2c_latency)
+        # residency probes during snooping are plain dict-membership tests
+        # when every cache is fully associative (the usual organisation)
+        from .cache import FullyAssociativeCache
+        self._slot_maps = ([c.slot_of for c in self.caches]
+                           if all(type(c) is FullyAssociativeCache
+                                  for c in self.caches) else None)
 
     # ------------------------------------------------------------------ hot
     def cluster_of(self, processor: int) -> int:
+        if self._cluster_shift is not None:
+            return processor >> self._cluster_shift
         return processor // self.config.cluster_size
 
     def _snoop(self, line: int, cluster: int, exclude: int) -> int | None:
         """Find a cluster-mate (≠ exclude) holding ``line``; returns its id."""
-        for q in self.config.processors_of(cluster):
-            if q != exclude and self.caches[q].peek(line) is not None:
+        slot_maps = self._slot_maps
+        if slot_maps is not None:
+            for q in self._procs[cluster]:
+                if q != exclude and line in slot_maps[q]:
+                    return q
+            return None
+        caches = self.caches
+        for q in self._procs[cluster]:
+            if q != exclude and caches[q].peek(line) >= 0:
                 return q
         return None
 
@@ -106,73 +135,79 @@ class SnoopyClusterMemorySystem:
              is_retry: bool = False) -> tuple[int, int]:
         """Read with snooping: own-cache hit, cache-to-cache transfer, or
         directory transaction (+ bus penalty)."""
-        cluster = self.cluster_of(processor)
+        shift = self._cluster_shift
+        cluster = (processor >> shift if shift is not None
+                   else processor // self.config.cluster_size)
         ctr = self.counters[cluster]
         if not is_retry:
-            ctr.references += 1
             ctr.reads += 1
         cache = self.caches[processor]
-        entry = cache.lookup(line)
-        if entry is not None:
-            if entry.pending_until > now:
+        slot = cache.lookup(line)
+        if slot >= 0:
+            pending_until = cache.pending[slot]
+            if pending_until > now:
                 ctr.merges += 1
-                return READ_MERGE, entry.pending_until - now
-            ctr.hits += 1
-            return READ_HIT, 0
+                return READ_MERGE, pending_until - now
+            return _HIT
         if is_retry:
             ctr.merge_refetches += 1
         cause = self._classify(processor, line)
         # Snoop the cluster bus first: cache-to-cache sharing opportunity.
         holder = self._snoop(line, cluster, processor)
         if holder is not None:
-            holder_entry = self.caches[holder].peek(line)
-            assert holder_entry is not None
-            if holder_entry.state == EXCLUSIVE:
-                holder_entry.state = SHARED  # intra-cluster downgrade
-            latency = self.c2c_latency
+            holder_cache = self.caches[holder]
+            hslot = holder_cache.peek(line)
+            assert hslot >= 0
+            if holder_cache.state[hslot] == EXCLUSIVE:
+                holder_cache.state[hslot] = SHARED  # intra-cluster downgrade
+            result = self._t_c2c
+            latency = result[1]
             self.c2c_transfers += 1
             # directory already lists this cluster; no global transaction
         else:
             home = self.allocator.home_of_line(line)
-            dentry = self.directory.entry(line)
-            if dentry.state == DIR_EXCLUSIVE and not dentry.only_sharer_is(cluster):
-                owner = dentry.owner
+            directory = self.directory
+            if (directory.state_of(line) == DIR_EXCLUSIVE
+                    and not directory.only_sharer_is(line, cluster)):
+                owner = directory.owner_of(line)
                 latency = self.latency.miss_cycles(cluster, home, owner, now)
                 self._downgrade_cluster(owner, line)
-                self.directory.downgrade_owner(line, cluster)
+                directory.downgrade_owner(line, cluster)
             else:
                 latency = self.latency.miss_cycles(cluster, home, None, now)
-                self.directory.record_read_fill(line, cluster)
+                directory.record_read_fill(line, cluster)
             latency += self.snoop_penalty
+            result = (READ_MISS, latency)
         self._install(processor, line, SHARED, now + latency)
         ctr.read_misses += 1
-        ctr.record_cause(cause)
-        return READ_MISS, latency
+        ctr.by_cause[cause] += 1
+        return result
 
     def write(self, processor: int, line: int, now: int) -> None:
         """Write: invalidate every other copy (bus upstream + directory)."""
-        cluster = self.cluster_of(processor)
+        shift = self._cluster_shift
+        cluster = (processor >> shift if shift is not None
+                   else processor // self.config.cluster_size)
         ctr = self.counters[cluster]
-        ctr.references += 1
         ctr.writes += 1
         cache = self.caches[processor]
-        entry = cache.lookup(line)
-        if entry is not None and entry.state == EXCLUSIVE:
-            ctr.hits += 1
+        slot = cache.lookup(line)
+        if slot >= 0 and cache.state[slot] == EXCLUSIVE:
             return
-        if entry is not None:
+        if slot >= 0:
             ctr.upgrade_misses += 1
         else:
             ctr.write_misses += 1
-            ctr.record_cause(self._classify(processor, line))
+            ctr.by_cause[self._classify(processor, line)] += 1
         # invalidate cluster-mates (bus) and other clusters (directory)
-        for q in self.config.processors_of(cluster):
-            if q != processor and self.caches[q].invalidate(line):
+        caches = self.caches
+        for q in self._procs[cluster]:
+            if q != processor and caches[q].invalidate(line):
                 self._history[q][line] = _INVALIDATED
         self._invalidate_other_clusters(line, cluster)
         self.directory.record_exclusive(line, cluster)
-        if entry is not None:
-            entry.state = EXCLUSIVE
+        if slot >= 0:
+            cache.state[slot] = EXCLUSIVE
         else:
             home = self.allocator.home_of_line(line)
             latency = self.latency.miss_cycles(cluster, home, None, now) \
@@ -199,24 +234,21 @@ class SnoopyClusterMemorySystem:
             self.directory.replacement_hint(victim.line, cluster)
 
     def _downgrade_cluster(self, cluster: int, line: int) -> None:
-        for q in self.config.processors_of(cluster):
-            entry = self.caches[q].peek(line)
-            if entry is not None and entry.state == EXCLUSIVE:
-                entry.state = SHARED
+        for q in self._procs[cluster]:
+            cache = self.caches[q]
+            slot = cache.peek(line)
+            if slot >= 0 and cache.state[slot] == EXCLUSIVE:
+                cache.state[slot] = SHARED
 
     def _invalidate_other_clusters(self, line: int, keeper: int) -> None:
-        dentry = self.directory.peek(line)
-        if dentry is None or dentry.sharers == 0:
-            return
-        bits = dentry.sharers & ~(1 << keeper)
-        cluster = 0
+        bits = self.directory.sharer_mask(line) & ~(1 << keeper)
         while bits:
-            if bits & 1:
-                for q in self.config.processors_of(cluster):
-                    if self.caches[q].invalidate(line):
-                        self._history[q][line] = _INVALIDATED
-            bits >>= 1
-            cluster += 1
+            low = bits & -bits
+            bits ^= low
+            cluster = low.bit_length() - 1
+            for q in self._procs[cluster]:
+                if self.caches[q].invalidate(line):
+                    self._history[q][line] = _INVALIDATED
 
     def _classify(self, processor: int, line: int) -> MissCause:
         mark = self._history[processor].get(line)
@@ -248,16 +280,15 @@ class SnoopyClusterMemorySystem:
           the whole cluster drops the line).
         """
         from .directory import DIR_EXCLUSIVE as _EXCL
-        from .directory import NOT_CACHED as _NC
-        for line in self.directory.lines():
-            dentry = self.directory.peek(line)
-            assert dentry is not None
+        directory = self.directory
+        for line in directory.lines():
+            state = directory.state_of(line)
             for cluster in range(self.config.n_clusters):
-                holders = [q for q in self.config.processors_of(cluster)
+                holders = [q for q in self._procs[cluster]
                            if self.caches[q].state_of(line) is not None]
-                excl = [q for q in self.config.processors_of(cluster)
+                excl = [q for q in self._procs[cluster]
                         if self.caches[q].state_of(line) == EXCLUSIVE]
-                if dentry.state == _NC or not dentry.is_sharer(cluster):
+                if not directory.is_sharer(line, cluster):
                     if holders:
                         raise AssertionError(
                             f"line {line:#x}: cluster {cluster} caches it "
@@ -267,8 +298,8 @@ class SnoopyClusterMemorySystem:
                     raise AssertionError(
                         f"line {line:#x}: sharer bit set for cluster "
                         f"{cluster} but no processor caches it")
-                if dentry.state == _EXCL:
-                    if cluster != dentry.owner:
+                if state == _EXCL:
+                    if cluster != directory.owner_of(line):
                         raise AssertionError(
                             f"line {line:#x}: cached outside owner cluster")
                     if len(excl) > 1:

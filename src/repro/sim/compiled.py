@@ -440,6 +440,34 @@ class TraceCache:
         self.misses += 1
         return None
 
+    def preload(self, key: str) -> CompiledProgram | None:
+        """Make ``key`` resident in the in-memory LRU, without stats.
+
+        Fork-server warmup: the sweep parent calls this for every disk-
+        resident trace *before* the worker pool forks, so workers inherit
+        the decoded programs copy-on-write instead of each re-reading and
+        re-decompressing the :class:`~repro.core.resultcache.TraceStore`.
+        Unlike :meth:`get` it never touches the hit/miss counters (warmup
+        is not demand traffic) and a corrupt disk entry is silently left
+        for the demand path to report.  Returns the resident program, or
+        ``None`` when the trace is neither in memory nor on disk.
+        """
+        program = _memory_lru.get(key)
+        if program is not None:
+            _memory_lru.move_to_end(key)
+            return program
+        if self.store is None:
+            return None
+        blob = self.store.get_bytes(key)
+        if blob is None:
+            return None
+        try:
+            program = CompiledProgram.from_bytes(blob)
+        except TraceDecodeError:
+            return None
+        self._remember(key, program)
+        return program
+
     def put(self, key: str, program: CompiledProgram) -> None:
         """Install ``program`` in both tiers (disk failures are swallowed)."""
         self._remember(key, program)

@@ -24,7 +24,14 @@ Timing rules (paper §3.1):
 The memory system is any object with ``read(processor, line, now, is_retry)``
 and ``write(processor, line, now)`` — normally
 :class:`~repro.memory.coherence.CoherentMemorySystem`, or
-:class:`PerfectMemory` for load-latency profiling.
+:class:`PerfectMemory` for load-latency profiling.  Both methods are bound
+once per run and called once per READ/WRITE op, which makes them the
+engine's hottest downstream calls; the memory layer keeps them allocation-
+free on hits by storing all per-line state in slab columns
+(see :mod:`repro.memory.cache`) rather than per-line heap objects.  The
+engine in turn promises the memory system monotonically non-decreasing
+``now`` values per processor — the ordering the pending/merge bookkeeping
+in those columns relies on.
 
 Execution paths and the heap-lean fast path
 -------------------------------------------

@@ -87,3 +87,55 @@ class TestFloor:
     def test_tolerance_validated(self):
         with pytest.raises(ValueError):
             check_floor([], {}, tolerance=1.5)
+
+
+class TestBenchMemory:
+    def test_streams_and_throughput(self):
+        from repro.core.bench import bench_memory
+
+        results = bench_memory(n_ops=5_000, repeats=1)
+        assert [r.stream for r in results] == ["hit", "capacity", "sharing"]
+        for r in results:
+            assert r.n_ops == 5_000
+            assert r.ops_per_s > 0
+            assert r.to_dict()["ops_per_s"] == round(r.ops_per_s, 1)
+
+    def test_memory_floor_keys(self):
+        from repro.core.bench import MemoryBenchResult
+
+        fast = MemoryBenchResult("hit", 1000, 0.001)     # 1M ops/s
+        slow = MemoryBenchResult("sharing", 1000, 10.0)  # 100 ops/s
+        floor = {"memory:hit": 1_000.0, "memory:sharing": 1_000_000.0}
+        failures = check_floor([], floor, tolerance=0.1,
+                               memory=[fast, slow])
+        assert len(failures) == 1
+        assert failures[0].startswith("memory:sharing")
+
+    def test_report_carries_memory_and_jobs_sections(self, tmp_path):
+        from repro.core.bench import JobsBenchResult, MemoryBenchResult
+
+        payload = write_report(
+            tmp_path / "b.json", [result_with()],
+            memory=[MemoryBenchResult("hit", 1000, 0.001)],
+            jobs=JobsBenchResult(["lu"], [1, 2], 2, 2, 1.0, 0.8))
+        assert payload["memory"]["hit"]["n_ops"] == 1000
+        assert payload["jobs"]["fork_speedup"] == 1.25
+        on_disk = json.loads((tmp_path / "b.json").read_text())
+        assert on_disk["memory"] == payload["memory"]
+
+
+class TestBenchJobs:
+    def test_process_vs_fork_identical(self):
+        from repro.core.bench import bench_jobs
+
+        r = bench_jobs(["lu"], CFG, cluster_sizes=(1, 2), jobs=2,
+                       kwargs_of={"lu": TINY_LU})
+        assert r.n_points == 2
+        assert r.identical
+        assert r.process_s > 0
+        from repro.core.executor import fork_available
+        if fork_available():
+            assert r.fork_s is not None and r.fork_s > 0
+            assert r.to_dict()["fork_speedup"] > 0
+        else:
+            assert r.fork_s is None

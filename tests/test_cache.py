@@ -1,4 +1,5 @@
-"""Unit tests for the fully associative and set-associative cluster caches."""
+"""Unit tests for the slab-allocated fully associative and set-associative
+cluster caches (slot-based API over flat array('q') columns)."""
 
 import pytest
 
@@ -9,9 +10,11 @@ from repro.memory.cache import (EXCLUSIVE, SHARED, FullyAssociativeCache,
 class TestFullyAssociativeBasics:
     def test_miss_then_hit(self):
         c = FullyAssociativeCache(4)
-        assert c.lookup(1) is None
+        assert c.lookup(1) == -1
         c.insert(1, SHARED)
-        assert c.lookup(1).state == SHARED
+        slot = c.lookup(1)
+        assert slot >= 0
+        assert c.state[slot] == SHARED
 
     def test_capacity_enforced(self):
         c = FullyAssociativeCache(2)
@@ -81,18 +84,88 @@ class TestFullyAssociativeBasics:
         assert c.inserts == 3
 
 
+class TestSlabColumns:
+    """The flat-column state layout specifics."""
+
+    def test_finite_columns_preallocated(self):
+        c = FullyAssociativeCache(8)
+        assert len(c.state) == 8
+        assert len(c.pending) == 8
+        assert len(c.fetcher) == 8
+        assert len(c.tag) == 8
+        assert len(c.free) == 8
+
+    def test_tag_column_names_resident_line(self):
+        c = FullyAssociativeCache(4)
+        c.insert(42, SHARED)
+        slot = c.peek(42)
+        assert c.tag[slot] == 42
+
+    def test_fetcher_cell(self):
+        c = FullyAssociativeCache(4)
+        c.insert(1, SHARED, fetcher=7)
+        slot = c.peek(1)
+        assert c.fetcher_of(1) == 7
+        assert c.fetcher[slot] == 7
+        c.fetcher[slot] = -1  # protocol layer marks the prefetch counted
+        assert c.fetcher_of(1) == -1
+
+    def test_invalidate_recycles_slot(self):
+        c = FullyAssociativeCache(2)
+        c.insert(1, SHARED)
+        slot = c.peek(1)
+        c.invalidate(1)
+        assert slot in c.free
+        c.insert(2, SHARED)
+        c.insert(3, SHARED)
+        assert len(c) == 2  # recycled slot reused, no overflow
+
+    def test_eviction_reuses_victim_slot(self):
+        c = FullyAssociativeCache(1)
+        c.insert(1, SHARED)
+        slot = c.peek(1)
+        c.insert(2, EXCLUSIVE)
+        assert c.peek(2) == slot
+
+    def test_slot_accounting_balances(self):
+        c = FullyAssociativeCache(4)
+        for line in range(10):
+            c.insert(line, SHARED)
+            if line % 3 == 0:
+                c.invalidate(line)
+        assert len(c.slot_of) + len(c.free) == len(c.state)
+
+    def test_infinite_growth_preserves_column_identity(self):
+        c = FullyAssociativeCache(None)
+        state_col = c.state  # bound before any growth, like the kernel does
+        pending_col = c.pending
+        fetcher_col = c.fetcher
+        for line in range(5000):  # forces several in-place extensions
+            c.insert(line, SHARED, pending_until=line)
+        assert state_col is c.state
+        assert pending_col is c.pending
+        assert fetcher_col is c.fetcher
+        assert pending_col[c.peek(4999)] == 4999
+
+    def test_pending_until_of(self):
+        c = FullyAssociativeCache(4)
+        c.insert(1, SHARED, pending_until=50)
+        assert c.pending_until_of(1) == 50
+        assert c.pending_until_of(9) is None
+
+
 class TestPending:
     def test_pending_until_future(self):
         c = FullyAssociativeCache(4)
         c.insert(1, SHARED, pending_until=50)
-        assert c.lookup(1).is_pending(now=10)
-        assert not c.lookup(1).is_pending(now=50)
-        assert not c.lookup(1).is_pending(now=51)
+        assert c.pending[c.lookup(1)] > 10
+        assert not c.pending[c.lookup(1)] > 50
+        assert not c.pending[c.lookup(1)] > 51
 
     def test_default_not_pending(self):
         c = FullyAssociativeCache(4)
         c.insert(1, SHARED)
-        assert not c.lookup(1).is_pending(now=0)
+        assert not c.pending[c.lookup(1)] > 0
 
 
 class TestInfiniteCache:
@@ -141,12 +214,19 @@ class TestSetAssociative:
         with pytest.raises(ValueError):
             SetAssociativeCache(5, 2)
 
+    def test_slots_stay_within_owning_set(self):
+        c = SetAssociativeCache(4, 2)
+        c.insert(0, SHARED)   # set 0 owns slots 0..1
+        c.insert(1, SHARED)   # set 1 owns slots 2..3
+        assert c.peek(0) in (0, 1)
+        assert c.peek(1) in (2, 3)
+
     def test_shared_api_surface(self):
         c = SetAssociativeCache(4, 2)
         c.insert(0, EXCLUSIVE)
         c.downgrade(0)
         assert c.state_of(0) == SHARED
-        assert c.peek(0) is not None
+        assert c.peek(0) >= 0
         assert c.invalidate(0)
         assert not c.is_infinite
 

@@ -118,17 +118,39 @@ class TestParser:
         ["--jobs", "-2", "run", "ocean"],
         ["--timeout", "0", "run", "ocean"],
         ["--timeout", "-1.5", "run", "ocean"],
+        ["--processors", "0", "run", "ocean"],
+        ["--cluster-sizes", "0,2", "fig2"],
+        ["--cluster-sizes", "-1", "fig2"],
+        ["--cluster-sizes", "", "fig2"],
+        ["--cache-sizes", "0,inf", "fig4"],
+        ["--cache-sizes", "-4", "fig4"],
+        ["run", "ocean", "--clusters", "0"],
+        ["run", "ocean", "--cache", "0"],
+        ["run", "ocean", "--cache", "-16"],
+        ["run", "ocean", "--cache", "huge"],
     ], ids=["jobs-zero", "jobs-negative", "timeout-zero",
-            "timeout-negative"])
+            "timeout-negative", "processors-zero", "cluster-sizes-zero",
+            "cluster-sizes-negative", "cluster-sizes-empty",
+            "cache-sizes-zero", "cache-sizes-negative", "clusters-zero",
+            "cache-zero", "cache-negative", "cache-garbage"])
     def test_nonpositive_resources_rejected(self, argv, capsys):
-        """Bad --jobs / --timeout die with a one-line parser error (exit
-        code 2), not a traceback from deep inside the executor."""
+        """Bad sweep sizes and resources die with a one-line parser error
+        (exit code 2), not a traceback from deep inside the executor."""
         with pytest.raises(SystemExit) as exc:
             run_cli(*argv)
         assert exc.value.code == 2
         err = capsys.readouterr().err
-        assert "error:" in err and "got" in err
+        assert "error:" in err
         assert "Traceback" not in err
+
+    def test_unknown_app_exit_code_is_2(self, capsys):
+        for argv in (["run", "notanapp"],
+                     ["fig2", "--apps", "notanapp"],
+                     ["workingset", "notanapp"]):
+            with pytest.raises(SystemExit) as exc:
+                run_cli(*argv)
+            assert exc.value.code == 2
+        assert "Traceback" not in capsys.readouterr().err
 
     def test_bad_network_load_rejected(self, capsys):
         with pytest.raises(SystemExit) as exc:
@@ -184,3 +206,25 @@ class TestCapacityFigureCommands:
         assert run_cli(*BASE, "--cluster-sizes", "1,2",
                        "--cache-sizes", "1,inf", "fig8") == 0
         assert "volrend" in capsys.readouterr().out
+
+
+class TestForkServer:
+    def test_fork_server_sweep_runs(self, capsys):
+        from repro.core.executor import fork_available
+
+        if not fork_available():
+            pytest.skip("no fork start method")
+        assert run_cli(*BASE, "--jobs", "2", "--fork-server", "--no-cache",
+                       "--cluster-sizes", "1,2", "fig2",
+                       "--apps", "radix") == 0
+        assert "Figure 2 (radix)" in capsys.readouterr().out
+
+    def test_fork_server_rejected_without_fork(self, monkeypatch, capsys):
+        import repro.cli as climod
+
+        monkeypatch.setattr(climod, "fork_available", lambda: False)
+        with pytest.raises(SystemExit) as exc:
+            run_cli(*BASE, "--jobs", "2", "--fork-server", "--no-cache",
+                    "--cluster-sizes", "1,2", "fig2", "--apps", "radix")
+        assert exc.value.code == 2
+        assert "fork" in capsys.readouterr().err

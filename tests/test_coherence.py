@@ -128,7 +128,7 @@ class TestWriteSemantics:
         mem = make_system(page_homes={0: 0})
         mem.write(0, 0, now=0)
         assert mem.caches[0].state_of(0) == EXCLUSIVE
-        assert mem.directory.peek(0).state == DIR_EXCLUSIVE
+        assert mem.directory.state_of(0) == DIR_EXCLUSIVE
         assert mem.counters[0].write_misses == 1
 
     def test_write_hit_on_exclusive(self):
@@ -162,7 +162,7 @@ class TestWriteSemantics:
         mem.write(0, 0, now=0)
         mem.write(2, 0, now=100)
         assert mem.caches[0].state_of(0) is None
-        assert mem.directory.peek(0).owner == 1
+        assert mem.directory.owner_of(0) == 1
 
     def test_clustering_obviates_invalidation(self):
         """Two processors in ONE cluster: write after read causes no
@@ -180,9 +180,8 @@ class TestReadOfDirtyLineDowngrades:
         mem.read(0, 0, now=100)
         assert mem.caches[1].state_of(0) == SHARED
         assert mem.caches[0].state_of(0) == SHARED
-        e = mem.directory.peek(0)
-        assert e.state == DIR_SHARED
-        assert sorted(e.sharer_list()) == [0, 1]
+        assert mem.directory.state_of(0) == DIR_SHARED
+        assert mem.directory.sharer_list(0) == [0, 1]
 
 
 class TestEvictions:
@@ -196,7 +195,7 @@ class TestEvictions:
         for line in range(capacity + 1):
             mem.read(0, line, now=line * 200)
         assert mem.directory.replacement_hints == 1
-        assert mem.directory.peek(0).state == NOT_CACHED
+        assert mem.directory.state_of(0) == NOT_CACHED
 
     def test_exclusive_eviction_writes_back(self):
         mem = self._tiny()
@@ -205,7 +204,7 @@ class TestEvictions:
         for line in range(1, capacity + 1):
             mem.read(0, line, now=line * 200)
         assert mem.directory.writebacks == 1
-        assert mem.directory.peek(0).state == NOT_CACHED
+        assert mem.directory.state_of(0) == NOT_CACHED
 
     def test_capacity_miss_classified(self):
         mem = self._tiny()

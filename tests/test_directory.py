@@ -1,69 +1,64 @@
-"""Unit tests for the full-bit-vector directory."""
+"""Unit tests for the packed-int full-bit-vector directory."""
 
 import pytest
 
 from repro.memory.directory import (DIR_EXCLUSIVE, DIR_SHARED, NOT_CACHED,
-                                    DirEntry, Directory)
+                                    SHARER_SHIFT, Directory)
 
 
-class TestDirEntry:
-    def test_starts_not_cached(self):
-        e = DirEntry()
-        assert e.state == NOT_CACHED
-        assert e.sharers == 0
+class TestPackedAccessors:
+    def test_absent_line_is_not_cached(self):
+        d = Directory(4)
+        assert d.state_of(10) == NOT_CACHED
+        assert d.sharer_mask(10) == 0
+        assert d.sharer_list(10) == []
+        assert not d.is_sharer(10, 0)
+        assert len(d) == 0
 
     def test_sharer_bitmask(self):
-        e = DirEntry()
-        e.add_sharer(0)
-        e.add_sharer(5)
-        assert e.is_sharer(0)
-        assert e.is_sharer(5)
-        assert not e.is_sharer(3)
-        assert e.sharer_list() == [0, 5]
+        d = Directory(8)
+        d.record_read_fill(1, 0)
+        d.record_read_fill(1, 5)
+        assert d.is_sharer(1, 0)
+        assert d.is_sharer(1, 5)
+        assert not d.is_sharer(1, 3)
+        assert d.sharer_list(1) == [0, 5]
+        assert d.sharer_mask(1) == (1 << 0) | (1 << 5)
 
-    def test_remove_sharer(self):
-        e = DirEntry()
-        e.add_sharer(2)
-        e.remove_sharer(2)
-        assert not e.is_sharer(2)
-        assert e.sharers == 0
+    def test_packed_encoding(self):
+        d = Directory(4)
+        d.record_read_fill(1, 2)
+        # state in the low 2 bits, cluster c's bit at position c + SHARER_SHIFT
+        assert d.packed[1] == (1 << (2 + SHARER_SHIFT)) | DIR_SHARED
 
     def test_only_sharer(self):
-        e = DirEntry()
-        e.add_sharer(3)
-        assert e.only_sharer_is(3)
-        e.add_sharer(1)
-        assert not e.only_sharer_is(3)
+        d = Directory(4)
+        d.record_read_fill(1, 3)
+        assert d.only_sharer_is(1, 3)
+        d.record_read_fill(1, 1)
+        assert not d.only_sharer_is(1, 3)
 
     def test_owner_requires_exclusive(self):
-        e = DirEntry()
-        e.add_sharer(4)
+        d = Directory(8)
+        d.record_read_fill(1, 4)
         with pytest.raises(ValueError):
-            _ = e.owner
-        e.state = DIR_EXCLUSIVE
-        assert e.owner == 4
+            d.owner_of(1)
+        d.record_exclusive(1, 4)
+        assert d.owner_of(1) == 4
 
 
-class TestDirectory:
-    def test_entry_created_on_demand(self):
-        d = Directory(4)
-        assert d.peek(10) is None
-        e = d.entry(10)
-        assert d.peek(10) is e
-        assert len(d) == 1
-
+class TestTransitions:
     def test_read_fill_shares(self):
         d = Directory(4)
         d.record_read_fill(1, cluster=2)
-        e = d.peek(1)
-        assert e.state == DIR_SHARED
-        assert e.sharer_list() == [2]
+        assert d.state_of(1) == DIR_SHARED
+        assert d.sharer_list(1) == [2]
 
     def test_multiple_readers_accumulate(self):
         d = Directory(4)
         d.record_read_fill(1, 0)
         d.record_read_fill(1, 3)
-        assert d.peek(1).sharer_list() == [0, 3]
+        assert d.sharer_list(1) == [0, 3]
 
     def test_record_exclusive_counts_invalidations(self):
         d = Directory(4)
@@ -72,29 +67,22 @@ class TestDirectory:
         d.record_read_fill(1, 2)
         n = d.record_exclusive(1, cluster=1)
         assert n == 2
-        e = d.peek(1)
-        assert e.state == DIR_EXCLUSIVE
-        assert e.owner == 1
+        assert d.state_of(1) == DIR_EXCLUSIVE
+        assert d.owner_of(1) == 1
         assert d.invalidations_sent == 2
 
     def test_exclusive_from_not_cached(self):
         d = Directory(4)
         assert d.record_exclusive(7, 3) == 0
-        assert d.peek(7).owner == 3
+        assert d.owner_of(7) == 3
 
     def test_replacement_hint_clears_bit(self):
         d = Directory(4)
         d.record_read_fill(1, 0)
         d.record_read_fill(1, 1)
         d.replacement_hint(1, 0)
-        assert d.peek(1).sharer_list() == [1]
+        assert d.sharer_list(1) == [1]
         assert d.replacement_hints == 1
-
-    def test_last_hint_returns_to_not_cached(self):
-        d = Directory(4)
-        d.record_read_fill(1, 0)
-        d.replacement_hint(1, 0)
-        assert d.peek(1).state == NOT_CACHED
 
     def test_hint_for_unknown_line_ignored(self):
         d = Directory(4)
@@ -105,22 +93,21 @@ class TestDirectory:
         d = Directory(4)
         d.record_exclusive(1, 2)
         d.writeback(1, 2)
-        assert d.peek(1).state == NOT_CACHED
+        assert d.state_of(1) == NOT_CACHED
         assert d.writebacks == 1
 
     def test_writeback_wrong_owner_ignored(self):
         d = Directory(4)
         d.record_exclusive(1, 2)
         d.writeback(1, 3)
-        assert d.peek(1).state == DIR_EXCLUSIVE
+        assert d.state_of(1) == DIR_EXCLUSIVE
 
     def test_downgrade_owner(self):
         d = Directory(4)
         d.record_exclusive(1, 2)
         d.downgrade_owner(1, reader=0)
-        e = d.peek(1)
-        assert e.state == DIR_SHARED
-        assert e.sharer_list() == [0, 2]
+        assert d.state_of(1) == DIR_SHARED
+        assert d.sharer_list(1) == [0, 2]
 
     def test_downgrade_non_exclusive_raises(self):
         d = Directory(4)
@@ -131,3 +118,59 @@ class TestDirectory:
     def test_constructor_validation(self):
         with pytest.raises(ValueError):
             Directory(0)
+
+
+class TestPruning:
+    """Entries whose sharer mask empties are deleted outright, so the
+    directory no longer grows without bound on streaming access patterns
+    (and ``lines()``/``len()`` no longer over-report dead lines)."""
+
+    def test_last_hint_prunes_entry(self):
+        d = Directory(4)
+        d.record_read_fill(1, 0)
+        d.replacement_hint(1, 0)
+        assert d.state_of(1) == NOT_CACHED
+        assert 1 not in d.packed
+        assert len(d) == 0
+
+    def test_writeback_prunes_entry(self):
+        d = Directory(4)
+        d.record_exclusive(1, 2)
+        d.writeback(1, 2)
+        assert 1 not in d.packed
+        assert len(d) == 0
+
+    def test_partial_hint_keeps_entry(self):
+        d = Directory(4)
+        d.record_read_fill(1, 0)
+        d.record_read_fill(1, 2)
+        d.replacement_hint(1, 0)
+        assert 1 in d.packed
+        assert len(d) == 1
+
+    def test_lines_reports_only_live_entries(self):
+        d = Directory(4)
+        for line in range(100):
+            d.record_read_fill(line, 0)
+            d.replacement_hint(line, 0)
+        d.record_read_fill(7, 1)
+        assert d.lines() == [7]
+        assert len(d) == 1
+
+    def test_streaming_pattern_bounded(self):
+        # evict-as-you-go single sharer: the old directory kept one dead
+        # entry per line ever touched; the packed directory keeps ~one live
+        d = Directory(2)
+        for line in range(10_000):
+            d.record_read_fill(line, 0)
+            if line:
+                d.replacement_hint(line - 1, 0)
+        assert len(d) == 1
+
+    def test_pruned_line_can_return(self):
+        d = Directory(4)
+        d.record_read_fill(1, 0)
+        d.replacement_hint(1, 0)
+        d.record_exclusive(1, 3)
+        assert d.state_of(1) == DIR_EXCLUSIVE
+        assert d.owner_of(1) == 3

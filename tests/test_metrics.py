@@ -12,7 +12,7 @@ class TestMissCounters:
         assert m.misses == 5
 
     def test_miss_rate(self):
-        m = MissCounters(references=100, read_misses=5, write_misses=5)
+        m = MissCounters(reads=60, writes=40, read_misses=5, write_misses=5)
         assert m.miss_rate == pytest.approx(0.1)
 
     def test_miss_rate_empty(self):
@@ -28,7 +28,7 @@ class TestMissCounters:
         assert m.by_cause[MissCause.CAPACITY] == 0
 
     def test_merged_into(self):
-        a = MissCounters(references=10, reads=6, writes=4, hits=5,
+        a = MissCounters(reads=6, writes=4,
                          read_misses=3, write_misses=2, upgrade_misses=1,
                          merges=2, merge_refetches=1)
         a.record_cause(MissCause.CAPACITY)
@@ -39,6 +39,29 @@ class TestMissCounters:
         assert total.read_misses == 6
         assert total.by_cause[MissCause.CAPACITY] == 2
         assert total.merge_refetches == 2
+
+    def test_references_and_hits_are_derived(self):
+        m = MissCounters(reads=6, writes=4, read_misses=3, write_misses=2,
+                         upgrade_misses=1)
+        assert m.references == 10
+        assert m.hits == 4
+        m.reads += 1  # a hit: one stored-counter increment, both update
+        assert m.references == 11
+        assert m.hits == 5
+
+    def test_round_trip_keeps_derived_keys(self):
+        m = MissCounters(reads=6, writes=4, read_misses=3, write_misses=2)
+        data = m.to_dict()
+        assert data["references"] == 10
+        assert data["hits"] == 5
+        assert MissCounters.from_dict(data) == m
+
+    def test_from_dict_rejects_inconsistent_payload(self):
+        m = MissCounters(reads=6, writes=4, read_misses=3)
+        data = m.to_dict()
+        data["hits"] += 1
+        with pytest.raises(ValueError, match="inconsistent"):
+            MissCounters.from_dict(data)
 
 
 class TestTimeBreakdown:

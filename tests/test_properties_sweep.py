@@ -34,8 +34,7 @@ def breakdowns(draw, min_total=0):
 def miss_counters(draw):
     count = st.integers(0, 10**6)
     counters = MissCounters(
-        references=draw(count), reads=draw(count), writes=draw(count),
-        hits=draw(count), read_misses=draw(count),
+        reads=draw(count), writes=draw(count), read_misses=draw(count),
         write_misses=draw(count), upgrade_misses=draw(count),
         merges=draw(count), merge_refetches=draw(count),
         prefetch_hits=draw(count))

@@ -22,7 +22,7 @@ OCEAN_KW = {"n": 16, "n_vcycles": 1}
 
 
 def tiny_result() -> RunResult:
-    counters = MissCounters(references=10, reads=6, writes=4, hits=8,
+    counters = MissCounters(reads=6, writes=4,
                             read_misses=1, write_misses=1)
     counters.record_cause(MissCause.COLD)
     counters.record_cause(MissCause.COLD)

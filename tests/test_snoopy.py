@@ -119,7 +119,7 @@ class TestCoherence:
         for i, line in enumerate(range(100, 120)):
             mem.read(0, line, now=400 + 200 * i)
         assert mem.caches[0].state_of(0) is None
-        assert mem.directory.peek(0).is_sharer(0)  # mate still holds it
+        assert mem.directory.is_sharer(0, 0)  # mate still holds it
         # p0 re-reads: served cache-to-cache, not from memory
         before = mem.c2c_transfers
         _, stall = mem.read(0, 0, now=10**6)
