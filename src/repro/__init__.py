@@ -35,8 +35,7 @@ from .memory.coherence import CoherentMemorySystem
 from .sim.engine import Engine, PerfectMemory, run_program
 from .sim.program import Barrier, Lock, Read, Unlock, Work, Write
 from .sim.stats import summarize
-
-__version__ = "1.1.0"
+from ._version import __version__
 
 __all__ = [
     "MachineConfig", "LatencyModel", "NetworkConfig",

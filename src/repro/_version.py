@@ -1,0 +1,11 @@
+"""Package version, in a foundation-layer module of its own.
+
+Lives at the bottom of the layer DAG so that low layers needing the
+version for cache keying (:mod:`repro.core.resultcache`,
+:mod:`repro.sim.compiled`) can read it without importing the package
+facade — ``repro/__init__`` sits at the *top* of the DAG, and reaching
+up to it would invert the layering (enforced by
+``tools/check_layering.py``).
+"""
+
+__version__ = "1.1.0"

@@ -42,7 +42,7 @@ from ..core.metrics import RunResult
 from ..memory.address import AddressSpace, Region
 from ..memory.allocation import PageAllocator
 from ..memory.coherence import CoherentMemorySystem
-from ..sim.engine import Engine
+from ..sim.engine import execute_program
 from ..sim.program import Op
 
 __all__ = ["Application", "PhaseBarriers", "proc_grid_shape"]
@@ -174,13 +174,12 @@ class Application(ABC):
 
         self.ensure_setup()
         memory = CoherentMemorySystem(self.config, self.allocator)
-        engine = Engine(self.config, memory,
-                        read_hit_cycles=read_hit_cycles,
-                        max_cycles=max_cycles)
         recorder = ProgramRecorder(self.program, self.config.n_processors,
                                    self.config.line_size,
                                    fuse_work=fuse_work)
-        result = engine.run(recorder.factory)
+        result = execute_program(self.config, memory, recorder.factory,
+                                 read_hit_cycles=read_hit_cycles,
+                                 max_cycles=max_cycles)
         return result, recorder.finish()
 
     def run(self, read_hit_cycles: int = 1,
@@ -197,12 +196,12 @@ class Application(ABC):
         """
         self.ensure_setup()
         memory = CoherentMemorySystem(self.config, self.allocator)
-        engine = Engine(self.config, memory,
-                        read_hit_cycles=read_hit_cycles,
-                        max_cycles=max_cycles)
-        if program is not None:
-            return engine.run_compiled(program)
-        return engine.run(self.program)
+        return execute_program(self.config, memory,
+                               program if program is not None
+                               else self.program,
+                               compiled=program is not None,
+                               read_hit_cycles=read_hit_cycles,
+                               max_cycles=max_cycles)
 
     # ---------------------------------------------------------- rng helpers
     def rng(self, *stream: int) -> np.random.Generator:

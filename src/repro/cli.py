@@ -49,8 +49,9 @@ from .core.contention import (PAPER_TABLE5, ExpansionTable,
 from .core.executor import (SweepExecutionError, SweepExecutor,
                             fork_available)
 from .core.resultcache import ResultCache, TraceStore
-from .core.study import ClusteringStudy
+from .core.study import ClusteringStudy, cache_label
 from .core.workingset import knee_of, working_set_curve
+from .runtime import RunRequest, RunSession, TimingObserver
 from .sim.compiled import TraceCache
 from .sim.stats import summarize
 
@@ -126,10 +127,6 @@ def _cache_arg(value: str) -> float | None:
     return kb
 
 
-def _cache_label(kb: float | None) -> str:
-    return "inf" if kb is None else f"{kb:g}"
-
-
 def _cache_list(value: str) -> list[float | None]:
     sizes = [_cache_arg(v) for v in value.split(",") if v]
     if not sizes:
@@ -179,6 +176,23 @@ def _load_list(value: str) -> list[float]:
 def cmd_run(args: argparse.Namespace) -> int:
     config = _base_config(args).with_clusters(args.clusters).with_cache_kb(
         args.cache)
+    if args.probe == "timing":
+        # probe runs bypass the result cache (a cache hit would time
+        # nothing) but still share the invocation's trace cache
+        observer = TimingObserver()
+        session = RunSession(base_config=_base_config(args),
+                             trace_cache=_executor(args).trace_cache,
+                             observer=observer)
+        request = RunRequest.make(args.app, args.clusters, args.cache,
+                                  _app_kwargs(args.app, args))
+        t0 = time.time()
+        result = session.run(request)
+        print(f"# {args.app} on {config.describe()}"
+              f"  [{time.time() - t0:.1f}s]")
+        print(summarize(result).format())
+        print("# probe: timing (pipeline phases)")
+        print(observer.format())
+        return 0
     study = _study(args.app, args)
     t0 = time.time()
     point = study.run_point(args.clusters, args.cache)
@@ -307,26 +321,25 @@ def cmd_workingset(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     """Shared-cache vs snoopy shared-memory cluster, same budget."""
-    from .apps.registry import build_app
     from .memory.snoopy import SnoopyClusterMemorySystem
-    from .sim.engine import Engine
 
-    config = _base_config(args).with_clusters(args.clusters).with_cache_kb(
-        args.cache)
-    kwargs = _app_kwargs(args.app, args)
+    session = RunSession(base_config=_base_config(args))
+    request = RunRequest.make(args.app, args.clusters, args.cache,
+                              _app_kwargs(args.app, args))
 
-    app = build_app(args.app, config, **kwargs)
-    shared = app.run()
-    print(f"# shared-cache cluster: {config.describe()}")
+    outcome = session.run_detailed(request)
+    shared = outcome.result
+    print(f"# shared-cache cluster: {outcome.config.describe()}")
     print(summarize(shared).format())
 
-    app = build_app(args.app, config, **kwargs)
-    app.ensure_setup()
-    mem = SnoopyClusterMemorySystem(config, app.allocator)
-    snoopy = Engine(config, mem).run(app.program)
+    outcome = session.run_detailed(
+        request,
+        memory_factory=lambda cfg, app: SnoopyClusterMemorySystem(
+            cfg, app.allocator))
+    snoopy = outcome.result
     print("\n# snoopy shared-memory cluster (same budget)")
     print(summarize(snoopy).format())
-    print(f"cache-to-cache transfers: {mem.c2c_transfers:,}")
+    print(f"cache-to-cache transfers: {outcome.memory.c2c_transfers:,}")
     ratio = snoopy.execution_time / max(shared.execution_time, 1)
     print(f"\nsnoopy / shared-cache execution time: {ratio:.3f}")
     return 0
@@ -334,18 +347,18 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_trace(args: argparse.Namespace) -> int:
     """Record a reference trace and report its statistics."""
-    from .apps.registry import build_app
     from .memory.coherence import CoherentMemorySystem
-    from .sim.engine import Engine
     from .sim.trace import TracingMemory
 
-    config = _base_config(args).with_clusters(args.clusters).with_cache_kb(
-        args.cache)
-    app = build_app(args.app, config, **_app_kwargs(args.app, args))
-    app.ensure_setup()
-    memory = TracingMemory(CoherentMemorySystem(config, app.allocator))
-    Engine(config, memory).run(app.program)
-    trace = memory.trace()
+    session = RunSession(base_config=_base_config(args))
+    request = RunRequest.make(args.app, args.clusters, args.cache,
+                              _app_kwargs(args.app, args))
+    outcome = session.run_detailed(
+        request,
+        memory_factory=lambda cfg, app: TracingMemory(
+            CoherentMemorySystem(cfg, app.allocator)))
+    config = outcome.config
+    trace = outcome.memory.trace()
     summary = trace.summary()
     print(f"# trace of {args.app} on {config.describe()}")
     for key, value in summary.items():
@@ -381,7 +394,7 @@ def cmd_network(args: argparse.Namespace) -> int:
     print(f"worst deviation: {worst:.2f}%\n")
 
     fig = figure_from_contention_sweep(
-        f"Contention sensitivity: {args.app}, cache {_cache_label(args.cache)} "
+        f"Contention sensitivity: {args.app}, cache {cache_label(args.cache)} "
         f"(bars % of 1p at the same load)", sweep)
     print(render_rows(fig))
     if args.ascii:
@@ -410,7 +423,7 @@ def cmd_network(args: argparse.Namespace) -> int:
 def cmd_merge(args: argparse.Namespace) -> int:
     study = _study(args.app, args)
     sweep = study.cluster_sweep(args.cache, args.cluster_sizes)
-    print(f"# merge anatomy for {args.app} (cache {_cache_label(args.cache)})")
+    print(f"# merge anatomy for {args.app} (cache {cache_label(args.cache)})")
     for c, row in merge_anatomy(sweep).items():
         print(f"{c:>2}p  load {row['load']:>12,.0f}  merge "
               f"{row['merge']:>12,.0f}  load+merge "
@@ -570,6 +583,10 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--clusters", type=_positive_int, default=1)
     sp.add_argument("--cache", type=_cache_arg, default=None,
                     help="per-processor cache KB or 'inf' (default inf)")
+    sp.add_argument("--probe", choices=["timing"], default=None,
+                    help="attach a pipeline probe: 'timing' prints "
+                    "per-phase wall-clock and event counts (bypasses the "
+                    "result cache)")
     sp.set_defaults(func=cmd_run)
 
     sp = add_command("fig2", help="infinite-cache cluster sweeps")

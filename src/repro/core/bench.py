@@ -137,14 +137,6 @@ class SweepBenchResult:
         return out
 
 
-def _fresh_engine(app, heap_fast_path: bool):
-    from ..memory.coherence import CoherentMemorySystem
-    from ..sim.engine import Engine
-
-    memory = CoherentMemorySystem(app.config, app.allocator)
-    return Engine(app.config, memory, heap_fast_path=heap_fast_path)
-
-
 def bench_engine(app_name: str, config: MachineConfig,
                  app_kwargs: Mapping[str, Any] | None = None,
                  repeats: int = 1) -> AppBenchResult:
@@ -152,19 +144,23 @@ def bench_engine(app_name: str, config: MachineConfig,
 
     ``repeats`` > 1 re-runs each path and keeps the *fastest* time (the
     usual microbenchmark convention — slower samples are scheduler noise).
+    Timings come from the runtime pipeline's ``execute`` phase (memory
+    system construction + engine run), observed by a
+    :class:`~repro.runtime.hooks.TimingObserver` — application build and
+    problem setup stay outside the measured region, as they always did.
     """
     from ..apps.registry import build_app
+    from ..runtime import RunRequest, RunSession, TimingObserver
 
     kwargs = dict(app_kwargs or {})
+    request = RunRequest.make(app_name, config.cluster_size,
+                              config.cache_kb_per_processor, kwargs)
 
-    def fresh_app():
-        # a new instance per run: some apps (e.g. barnes' cell pool) consume
-        # internal state as program() executes, so instances are single-shot
-        app = build_app(app_name, config, **kwargs)
-        app.ensure_setup()
-        return app
-
-    app = fresh_app()
+    # a new app instance per run: some apps (e.g. barnes' cell pool)
+    # consume internal state as program() executes, so instances are
+    # single-shot — run_detailed builds its own fresh instance each call
+    app = build_app(app_name, config, **kwargs)
+    app.ensure_setup()
     t0 = time.perf_counter()
     if app.stream_invariant:
         program = app.compiled_program()
@@ -172,18 +168,20 @@ def bench_engine(app_name: str, config: MachineConfig,
         _, program = app.run_recorded()
     capture_s = time.perf_counter() - t0
 
-    def best(run) -> float:
+    observer = TimingObserver()
+    session = RunSession(base_config=config, observer=observer)
+
+    def best(**run_kwargs: Any) -> float:
         times = []
         for _ in range(max(1, repeats)):
-            a = fresh_app()
-            t0 = time.perf_counter()
-            run(a)
-            times.append(time.perf_counter() - t0)
+            observer.reset()
+            session.run_detailed(request, **run_kwargs)
+            times.append(observer.elapsed("execute"))
         return min(times)
 
-    legacy_s = best(lambda a: _fresh_engine(a, False).run(a.program))
-    generator_s = best(lambda a: _fresh_engine(a, True).run(a.program))
-    replay_s = best(lambda a: _fresh_engine(a, True).run_compiled(program))
+    legacy_s = best(heap_fast_path=False)
+    generator_s = best()
+    replay_s = best(program=program)
 
     return AppBenchResult(
         app=app_name,
@@ -210,9 +208,7 @@ def bench_sweep(apps: Sequence[str], config: MachineConfig,
     results are compared byte-for-byte; ``identical=False`` in the result
     marks a correctness failure (and should never happen).
     """
-    from ..apps.registry import build_app
-    from ..memory.coherence import CoherentMemorySystem
-    from ..sim.engine import Engine
+    from ..runtime import RunSession
     from ..sim.compiled import TraceCache, clear_memory_cache
 
     kwargs_of = kwargs_of or {}
@@ -220,12 +216,10 @@ def bench_sweep(apps: Sequence[str], config: MachineConfig,
     specs = [PointSpec.make(app, cs, cache_kb, dict(kwargs_of.get(app, {})))
              for app in apps for cs in cluster_sizes]
 
+    session = RunSession(base_config=config)
+
     def run_legacy(spec: PointSpec):
-        app = build_app(spec.app, spec.config_for(config), **spec.kwargs)
-        app.ensure_setup()
-        memory = CoherentMemorySystem(app.config, app.allocator)
-        return Engine(app.config, memory, heap_fast_path=False).run(
-            app.program)
+        return session.run_detailed(spec, heap_fast_path=False).result
 
     t0 = time.perf_counter()
     reference = [run_legacy(s).to_json() for s in specs]

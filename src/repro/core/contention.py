@@ -42,8 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
-from ..apps.registry import build_app
-from ..sim.engine import Engine, PerfectMemory
+from ..sim.engine import PerfectMemory
 from .config import PAPER_CLUSTER_SIZES, MachineConfig
 from .executor import SweepExecutor
 from .study import CacheKey, ClusteringStudy
@@ -150,13 +149,17 @@ class LoadLatencyProfiler:
     app_kwargs: dict[str, Any] = field(default_factory=dict)
 
     def measure(self, app: str) -> ExpansionTable:
-        config = self.base_config.with_clusters(1)
+        from ..runtime import RunRequest, RunSession
+
+        session = RunSession(base_config=self.base_config)
+        request = RunRequest.make(
+            app, 1, self.base_config.cache_kb_per_processor, self.app_kwargs)
         times = []
         for latency in (1, 2, 3, 4):
-            application = build_app(app, config, **self.app_kwargs)
-            application.ensure_setup()
-            engine = Engine(config, PerfectMemory(), read_hit_cycles=latency)
-            times.append(engine.run(application.program).execution_time)
+            outcome = session.run_detailed(
+                request, memory_factory=lambda cfg, a: PerfectMemory(),
+                read_hit_cycles=latency)
+            times.append(outcome.result.execution_time)
         base = times[0]
         if base <= 0:
             raise RuntimeError(f"application {app!r} executed no cycles")

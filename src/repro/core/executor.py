@@ -45,13 +45,15 @@ from __future__ import annotations
 
 import time
 import traceback
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
-from .config import MachineConfig, NetworkConfig
+from ..runtime.plan import RunRequest
+from .config import MachineConfig
 from .metrics import RunResult
 from .resultcache import ResultCache
 
@@ -73,63 +75,26 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-@dataclass(frozen=True)
-class PointSpec:
-    """One sweep point: which app on which machine organisation.
-
-    ``app_kwargs`` is stored as a sorted tuple of items so specs are
-    hashable, order-insensitive, and cheap to pickle across processes.
-    Build instances with :meth:`make` (which accepts a plain dict).
-
-    ``network`` optionally overrides the base config's interconnect model
-    for this point — the contention sweep varies it per point the way
-    cluster and cache size always varied.  ``None`` inherits the base.
-    """
-
-    app: str
-    cluster_size: int
-    cache_kb: float | int | None
-    app_kwargs: tuple[tuple[str, Any], ...] = ()
-    network: NetworkConfig | None = None
-
-    @classmethod
-    def make(cls, app: str, cluster_size: int, cache_kb: float | int | None,
-             app_kwargs: Mapping[str, Any] | None = None,
-             network: NetworkConfig | None = None) -> "PointSpec":
-        return cls(app, int(cluster_size), cache_kb,
-                   tuple(sorted((app_kwargs or {}).items())), network)
-
-    @property
-    def kwargs(self) -> dict[str, Any]:
-        """The app kwargs as a plain dict."""
-        return dict(self.app_kwargs)
-
-    def config_for(self, base: MachineConfig) -> MachineConfig:
-        """The machine this point runs on, derived from a base template."""
-        config = base.with_clusters(self.cluster_size).with_cache_kb(
-            None if self.cache_kb is None else float(self.cache_kb))
-        if self.network is not None:
-            config = config.with_network(self.network)
-        return config
-
-    def describe(self) -> str:
-        cache = "inf" if self.cache_kb is None else f"{self.cache_kb:g}k"
-        kw = (", ".join(f"{k}={v}" for k, v in self.app_kwargs)
-              if self.app_kwargs else "defaults")
-        net = ""
-        if self.network is not None:
-            net = (f", {self.network.provider} net "
-                   f"@ load {self.network.background_load:g}")
-        return (f"{self.app} @ {self.cluster_size}/cluster, cache {cache}"
-                f"{net} ({kw})")
+#: the canonical sweep-point type now lives in :mod:`repro.runtime.plan`;
+#: the historical name remains the supported spelling at this layer
+PointSpec = RunRequest
 
 
 def as_point_spec(obj: Any) -> PointSpec:
-    """Coerce a :class:`PointSpec` or an ``(app, cluster, cache[, kwargs])``
-    tuple into a :class:`PointSpec`."""
+    """Return ``obj`` as a :class:`PointSpec` (= :class:`RunRequest`).
+
+    Loose ``(app, cluster, cache[, kwargs])`` tuples are still coerced
+    for now, but that spelling is deprecated: build requests explicitly
+    with :meth:`PointSpec.make` instead, which validates eagerly and
+    keeps sweep construction greppable.
+    """
     if isinstance(obj, PointSpec):
         return obj
     if isinstance(obj, (tuple, list)) and len(obj) in (3, 4):
+        warnings.warn(
+            "passing loose (app, cluster, cache[, kwargs]) sequences as "
+            "sweep points is deprecated; build a PointSpec/RunRequest with "
+            "PointSpec.make(...)", DeprecationWarning, stacklevel=3)
         app, cluster_size, cache_kb = obj[0], obj[1], obj[2]
         kwargs = obj[3] if len(obj) == 4 else None
         return PointSpec.make(app, cluster_size, cache_kb, kwargs)
@@ -183,32 +148,16 @@ def evaluate_point(spec: PointSpec, base_config: MachineConfig,
     ``trace_cache`` when one is attached, so grid neighbours sharing the
     same stream skip generation entirely.  Setup always runs: data
     placement depends on cluster geometry even though the stream does not.
+
+    This is a thin wrapper over the canonical
+    :class:`~repro.runtime.session.RunSession` pipeline; it exists so the
+    process-pool workers have a picklable module-level entry point.
     """
-    from ..apps.registry import build_app  # deferred: avoids import cycle
+    from ..runtime.session import RunSession  # deferred: avoids import cycle
 
-    config = spec.config_for(base_config)
-    app = build_app(spec.app, config, **spec.kwargs)
-    if not use_compiled:
-        return app.run()
-    from ..sim.compiled import trace_key  # deferred: avoids import cycle
-
-    key = trace_key(spec.app, spec.kwargs, config, app.seed,
-                    stream_invariant=app.stream_invariant)
-    program = trace_cache.get(key) if trace_cache is not None else None
-    if program is not None:
-        return app.run(program=program)
-    if app.stream_invariant:
-        program = app.compiled_program()
-        if trace_cache is not None:
-            trace_cache.put(key, program)
-        return app.run(program=program)
-    # dynamic task-queue app: the stream is decided by the run itself, so
-    # capture during generator execution; the capture replays bit-identically
-    # at this exact configuration only (the key covers the full config)
-    result, program = app.run_recorded()
-    if trace_cache is not None:
-        trace_cache.put(key, program)
-    return result
+    session = RunSession(base_config=base_config, trace_cache=trace_cache,
+                         use_compiled=use_compiled)
+    return session.run(spec)
 
 
 def _evaluate_timed(spec: PointSpec, base_config: MachineConfig,

@@ -80,7 +80,7 @@ def _atomic_write(directory: Path, path: Path, data: bytes) -> None:
 
 
 def _package_version() -> str:
-    from .. import __version__  # deferred: repro/__init__ imports this pkg
+    from .._version import __version__
 
     return __version__
 

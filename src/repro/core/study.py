@@ -22,6 +22,8 @@ uncached executor reproduces the historical behaviour exactly.  Either
 way, points share compiled traces (:mod:`repro.sim.compiled`): an app's
 reference stream is captured once and replayed at every other point of
 the sweep, which is where most of a sweep's wall-clock used to go.
+Each individual point is ultimately evaluated by the canonical runtime
+pipeline, :class:`repro.runtime.RunSession` (``docs/INTERNALS.md`` §8).
 """
 
 from __future__ import annotations

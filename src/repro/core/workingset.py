@@ -134,19 +134,16 @@ def residency_profile(app: str, cache_kb: float,
     set-associative extension: capacity pressure fills sets evenly, while
     address-conflict pressure piles lines into few sets.
     """
-    from ..apps.registry import build_app
-    from ..memory.coherence import CoherentMemorySystem
-    from ..sim.engine import Engine
+    from ..runtime import RunRequest, RunSession
 
-    config = ((base_config or MachineConfig())
-              .with_clusters(cluster_size)
-              .with_cache_kb(cache_kb)
-              .with_associativity(associativity))
-    application = build_app(app, config, **dict(app_kwargs or {}))
-    application.ensure_setup()
-    memory = CoherentMemorySystem(config, application.allocator)
-    Engine(config, memory).run(application.program)
-    return [cache.resident_lines_by_set() for cache in memory.caches]
+    # associativity is a machine knob RunRequest does not carry, so it
+    # goes into the session's base config; cluster/cache resolve per-point
+    base = (base_config or MachineConfig()).with_associativity(associativity)
+    session = RunSession(base_config=base)
+    outcome = session.run_detailed(
+        RunRequest.make(app, cluster_size, cache_kb, app_kwargs))
+    return [cache.resident_lines_by_set()
+            for cache in outcome.memory.caches]
 
 
 def occupancy_skew(by_set: Sequence[Sequence[int]]) -> float:

@@ -356,7 +356,7 @@ def trace_key(app: str, app_kwargs: Mapping[str, Any], config: Any,
     replayable at the exact configuration that recorded it.
     """
     if version is None:
-        from .. import __version__ as version
+        from .._version import __version__ as version
     payload = {
         "version": version,
         "app": app,

@@ -61,9 +61,11 @@ from ..core.metrics import MissCounters, RunResult, TimeBreakdown
 from ..memory.coherence import READ_HIT, READ_MERGE
 from .program import (OP_BARRIER, OP_LOCK, OP_READ, OP_UNLOCK, OP_WORK,
                       OP_WRITE, ProgramFactory)
+from .stats import DEFAULT_ASSEMBLER, StatsAssembler
 from .sync import SyncRegistry
 
-__all__ = ["Engine", "PerfectMemory", "SimulationDeadlock", "run_program"]
+__all__ = ["Engine", "PerfectMemory", "SimulationDeadlock",
+           "execute_program", "run_program"]
 
 
 class SimulationDeadlock(RuntimeError):
@@ -108,12 +110,19 @@ class Engine:
         strictly earlier than the heap minimum (default on; results are
         bit-identical either way — the flag exists for the equivalence
         tests and for benchmarking the fast path's contribution).
+    stats:
+        :class:`~repro.sim.stats.StatsAssembler` that turns the finished
+        breakdowns + memory counters into the :class:`RunResult`.  The
+        shared default reproduces the historical assembly exactly; the
+        seam exists for probes, not for the hot loop (assembly runs once
+        per run).
     """
 
     def __init__(self, config: MachineConfig, memory,
                  read_hit_cycles: int = 1,
                  max_cycles: int | None = None,
-                 heap_fast_path: bool = True) -> None:
+                 heap_fast_path: bool = True,
+                 stats: StatsAssembler | None = None) -> None:
         if read_hit_cycles < 1:
             raise ValueError("read_hit_cycles must be >= 1")
         self.config = config
@@ -121,6 +130,7 @@ class Engine:
         self.read_hit_cycles = read_hit_cycles
         self.max_cycles = max_cycles
         self.heap_fast_path = heap_fast_path
+        self.stats = DEFAULT_ASSEMBLER if stats is None else stats
         self.sync = SyncRegistry(config.n_processors)
 
     # ------------------------------------------------------- generator path
@@ -413,7 +423,6 @@ class Engine:
     def _finalize(self, breakdowns: list[TimeBreakdown],
                   finish: list[int | None], n_running: int) -> RunResult:
         n = self.config.n_processors
-        memory = self.memory
         if n_running > 0:
             detail = self.sync.idle_check() or "processors blocked forever"
             stuck = [pid for pid in range(n) if finish[pid] is None]
@@ -421,29 +430,39 @@ class Engine:
                 f"{len(stuck)} processors never finished ({detail}); "
                 f"first stuck: {stuck[:8]}")
 
+        # end-of-run slack: every processor waits for the slowest, charged
+        # to sync so components sum exactly to the execution time
         execution_time = max(f for f in finish if f is not None) if n else 0
         for pid in range(n):
             fin = finish[pid]
             assert fin is not None
             breakdowns[pid].sync += execution_time - fin
 
-        mean = TimeBreakdown()
-        for bd in breakdowns:
-            mean.add(bd)
-        if n:
-            mean = TimeBreakdown(cpu=mean.cpu / n, load=mean.load / n,
-                                 merge=mean.merge / n, sync=mean.sync / n)
+        return self.stats.assemble(execution_time, breakdowns, self.memory)
 
-        per_cluster = getattr(memory, "counters", None)
-        stats_of = getattr(memory, "network_stats", None)
-        return RunResult(
-            execution_time=execution_time,
-            breakdown=mean,
-            per_processor=breakdowns,
-            misses=memory.aggregate_counters(),
-            per_cluster_misses=list(per_cluster) if per_cluster else [],
-            network=stats_of() if stats_of is not None else None,
-        )
+
+def execute_program(config: MachineConfig, memory, source, *,
+                    compiled: bool = False,
+                    read_hit_cycles: int = 1,
+                    max_cycles: int | None = None,
+                    heap_fast_path: bool = True,
+                    stats: StatsAssembler | None = None) -> RunResult:
+    """The one canonical engine wiring: build an :class:`Engine`, run it.
+
+    ``source`` is a program factory (generator path) or, with
+    ``compiled=True``, a :class:`~repro.sim.compiled.CompiledProgram`
+    (replay path).  Every in-tree execution — :meth:`Application.run
+    <repro.apps.base.Application.run>`, the :class:`~repro.runtime.session.
+    RunSession` pipeline, and everything layered above them — funnels
+    through this helper, so engine construction policy (stats assembly,
+    fast-path defaults) has exactly one home.
+    """
+    engine = Engine(config, memory, read_hit_cycles=read_hit_cycles,
+                    max_cycles=max_cycles, heap_fast_path=heap_fast_path,
+                    stats=stats)
+    if compiled:
+        return engine.run_compiled(source)
+    return engine.run(source)
 
 
 def run_program(config: MachineConfig, program_factory: ProgramFactory,
@@ -453,6 +472,6 @@ def run_program(config: MachineConfig, program_factory: ProgramFactory,
     if memory is None:
         from ..memory.coherence import CoherentMemorySystem
         memory = CoherentMemorySystem(config)
-    engine = Engine(config, memory, read_hit_cycles=read_hit_cycles,
-                    max_cycles=max_cycles)
-    return engine.run(program_factory)
+    return execute_program(config, memory, program_factory,
+                           read_hit_cycles=read_hit_cycles,
+                           max_cycles=max_cycles)

@@ -1,17 +1,66 @@
-"""Run-level summaries derived from :class:`~repro.core.metrics.RunResult`.
+"""Run-level statistics: RunResult assembly and human-readable summaries.
 
-These helpers turn raw counters into the quantities the paper talks about —
-miss rates, invalidation counts, component fractions — for CLI output,
-examples, and tests.
+Two halves:
+
+* :class:`StatsAssembler` — the pluggable seam between the engine's event
+  loop and :class:`~repro.core.metrics.RunResult`.  The engine finishes a
+  run with per-processor time breakdowns and a memory system; everything
+  after that — the mean breakdown, the aggregated miss counters, the
+  optional per-cluster and network sections — is *stats assembly*, and it
+  lives here rather than inline in the hot-loop module so probes and
+  future backends can substitute their own assembly without touching the
+  bit-identity-critical engine core.
+* :class:`RunSummary` / :func:`summarize` — turn raw counters into the
+  quantities the paper talks about (miss rates, component fractions) for
+  CLI output, examples, and tests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.metrics import MissCause, NetworkStats, RunResult
+from ..core.metrics import (MissCause, NetworkStats, RunResult,
+                            TimeBreakdown)
 
-__all__ = ["RunSummary", "summarize"]
+__all__ = ["RunSummary", "StatsAssembler", "DEFAULT_ASSEMBLER", "summarize"]
+
+
+class StatsAssembler:
+    """Assemble the canonical :class:`RunResult` from a finished run.
+
+    The default instance reproduces the engine's historical inline
+    assembly byte-for-byte: mean breakdown over processors, aggregated
+    miss counters, per-cluster counters when the memory system exposes
+    ``counters``, and network stats when it exposes ``network_stats``.
+    Subclass and pass to :class:`~repro.sim.engine.Engine` (or
+    :func:`~repro.sim.engine.execute_program`) to attach different
+    accounting; the engine's event loop never changes.
+    """
+
+    def assemble(self, execution_time: int,
+                 breakdowns: list[TimeBreakdown], memory) -> RunResult:
+        n = len(breakdowns)
+        mean = TimeBreakdown()
+        for bd in breakdowns:
+            mean.add(bd)
+        if n:
+            mean = TimeBreakdown(cpu=mean.cpu / n, load=mean.load / n,
+                                 merge=mean.merge / n, sync=mean.sync / n)
+
+        per_cluster = getattr(memory, "counters", None)
+        stats_of = getattr(memory, "network_stats", None)
+        return RunResult(
+            execution_time=execution_time,
+            breakdown=mean,
+            per_processor=breakdowns,
+            misses=memory.aggregate_counters(),
+            per_cluster_misses=list(per_cluster) if per_cluster else [],
+            network=stats_of() if stats_of is not None else None,
+        )
+
+
+#: shared zero-state default; the engine uses it when no assembler is given
+DEFAULT_ASSEMBLER = StatsAssembler()
 
 
 @dataclass(frozen=True)

@@ -41,6 +41,29 @@ class TestRun:
         assert run_cli(*BASE, "run", "radix") == 0
         assert "execution time" in capsys.readouterr().out
 
+    def test_run_timing_probe_prints_phases(self, capsys):
+        assert run_cli(*BASE, "run", "ocean", "--clusters", "2",
+                       "--cache", "4", "--probe", "timing",
+                       "--no-cache") == 0
+        out = capsys.readouterr().out
+        assert "execution time" in out          # normal summary intact
+        assert "probe: timing" in out
+        for phase in ("resolve", "build", "execute", "total"):
+            assert phase in out
+
+    def test_run_probe_identical_result(self, capsys):
+        assert run_cli(*BASE, "run", "ocean", "--clusters", "2",
+                       "--cache", "4", "--no-cache") == 0
+        plain = capsys.readouterr().out
+        assert run_cli(*BASE, "run", "ocean", "--clusters", "2",
+                       "--cache", "4", "--probe", "timing",
+                       "--no-cache") == 0
+        probed = capsys.readouterr().out
+        # the probe adds lines after the summary but never changes it
+        # (first line carries wall-clock time, so compare from line 2)
+        plain_summary = plain.split("\n", 1)[1]
+        assert plain_summary in probed
+
 
 class TestFigures:
     def test_fig2_subset(self, capsys):

@@ -32,13 +32,26 @@ class TestPointSpec:
         spec_inf = PointSpec.make("ocean", 2, None, {})
         assert spec_inf.config_for(CFG).cache_kb_per_processor is None
 
-    def test_coercion_from_tuples(self):
-        assert as_point_spec(("ocean", 2, 4)) == \
-            PointSpec.make("ocean", 2, 4, {})
-        assert as_point_spec(["ocean", 2, None, {"n": 16}]) == \
-            PointSpec.make("ocean", 2, None, {"n": 16})
+    def test_coercion_from_tuples_is_deprecated(self):
+        with pytest.warns(DeprecationWarning, match="PointSpec.make"):
+            assert as_point_spec(("ocean", 2, 4)) == \
+                PointSpec.make("ocean", 2, 4, {})
+        with pytest.warns(DeprecationWarning, match="PointSpec.make"):
+            assert as_point_spec(["ocean", 2, None, {"n": 16}]) == \
+                PointSpec.make("ocean", 2, None, {"n": 16})
+
+    def test_coercion_passes_specs_through_silently(self):
+        import warnings
+
         spec = PointSpec.make("lu", 1, None, {})
-        assert as_point_spec(spec) is spec
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert as_point_spec(spec) is spec
+
+    def test_pointspec_is_the_runtime_request(self):
+        from repro.runtime import RunRequest
+
+        assert PointSpec is RunRequest
 
     def test_coercion_rejects_junk(self):
         with pytest.raises(TypeError, match="sweep point"):
@@ -73,16 +86,17 @@ class TestFailureIsolation:
     """One bad point must not take down the sweep."""
 
     def test_unknown_app_is_isolated_serial(self):
-        specs = [("ocean", 1, None, OCEAN_KW),
-                 ("notanapp", 1, None, {}),
-                 ("ocean", 2, None, OCEAN_KW)]
+        specs = [PointSpec.make("ocean", 1, None, OCEAN_KW),
+                 PointSpec.make("notanapp", 1, None, {}),
+                 PointSpec.make("ocean", 2, None, OCEAN_KW)]
         outcomes = SweepExecutor().run(specs, CFG)
         assert [o.ok for o in outcomes] == [True, False, True]
         assert "notanapp" in outcomes[1].error
         assert outcomes[1].result is None
 
     def test_unknown_app_is_isolated_process(self):
-        specs = [("ocean", 1, None, OCEAN_KW), ("notanapp", 1, None, {})]
+        specs = [PointSpec.make("ocean", 1, None, OCEAN_KW),
+                 PointSpec.make("notanapp", 1, None, {})]
         outcomes = SweepExecutor(backend="process", max_workers=2).run(
             specs, CFG)
         assert [o.ok for o in outcomes] == [True, False]
@@ -90,7 +104,7 @@ class TestFailureIsolation:
 
     def test_bad_kwargs_are_isolated(self):
         outcomes = SweepExecutor().run(
-            [("ocean", 1, None, {"no_such_knob": 3})], CFG)
+            [PointSpec.make("ocean", 1, None, {"no_such_knob": 3})], CFG)
         assert not outcomes[0].ok
 
     def test_raise_failures_collects_all(self):
@@ -114,7 +128,7 @@ class TestFailureIsolation:
 
     def test_timeout_reports_error_not_crash(self):
         """A point exceeding the per-point budget becomes an error outcome."""
-        slow = ("ocean", 1, None, {"n": 32, "n_vcycles": 2})
+        slow = PointSpec.make("ocean", 1, None, {"n": 32, "n_vcycles": 2})
         executor = SweepExecutor(backend="process", max_workers=1,
                                  timeout=1e-4)
         outcomes = executor.run([slow], CFG)
@@ -125,9 +139,11 @@ class TestFailureIsolation:
 class TestPoolLifecycle:
     def test_pool_is_reused_across_runs(self):
         with SweepExecutor(backend="process", max_workers=2) as executor:
-            first = executor.run([("ocean", 1, None, OCEAN_KW)], CFG)
+            first = executor.run(
+                [PointSpec.make("ocean", 1, None, OCEAN_KW)], CFG)
             pool = executor._pool
-            second = executor.run([("ocean", 2, None, OCEAN_KW)], CFG)
+            second = executor.run(
+                [PointSpec.make("ocean", 2, None, OCEAN_KW)], CFG)
             assert executor._pool is pool
         assert executor._pool is None  # context exit closed it
         assert first[0].ok and second[0].ok
@@ -136,7 +152,8 @@ class TestPoolLifecycle:
         executor = SweepExecutor(backend="process", max_workers=1)
         executor.close()
         executor.close()
-        outcome = executor.run([("ocean", 1, None, OCEAN_KW)], CFG)[0]
+        outcome = executor.run(
+            [PointSpec.make("ocean", 1, None, OCEAN_KW)], CFG)[0]
         assert outcome.ok
         executor.close()
         assert executor._pool is None
@@ -144,12 +161,13 @@ class TestPoolLifecycle:
 
 class TestResults:
     def test_elapsed_recorded(self):
-        outcome = SweepExecutor().run([("ocean", 1, None, OCEAN_KW)], CFG)[0]
+        outcome = SweepExecutor().run(
+            [PointSpec.make("ocean", 1, None, OCEAN_KW)], CFG)[0]
         assert outcome.ok and outcome.elapsed > 0.0 and not outcome.cached
 
     def test_default_base_config_is_paper_machine(self):
-        outcome = SweepExecutor().run_one(("lu", 1, None, {"n": 16,
-                                                           "block": 4}))
+        outcome = SweepExecutor().run_one(
+            PointSpec.make("lu", 1, None, {"n": 16, "block": 4}))
         assert outcome.ok
         assert outcome.result.n_processors == 64
 
@@ -172,7 +190,8 @@ class TestForkBackend:
         from repro.core.resultcache import TraceStore
         from repro.sim.compiled import TraceCache, clear_memory_cache
 
-        specs = [("ocean", c, None, OCEAN_KW) for c in (1, 2)]
+        specs = [PointSpec.make("ocean", c, None, OCEAN_KW)
+                 for c in (1, 2)]
         store = TraceStore(tmp_path)
         clear_memory_cache()
         serial = SweepExecutor(backend="serial",
@@ -191,7 +210,8 @@ class TestForkBackend:
         from repro.sim.compiled import (TraceCache, clear_memory_cache,
                                         memory_cache_len)
 
-        specs = [("ocean", c, None, OCEAN_KW) for c in (1, 2)]
+        specs = [PointSpec.make("ocean", c, None, OCEAN_KW)
+                 for c in (1, 2)]
         store = TraceStore(tmp_path)
         # populate the disk tier, then forget the in-memory one
         clear_memory_cache()
@@ -215,7 +235,7 @@ class TestForkBackend:
         clear_memory_cache()
         executor = SweepExecutor(backend="fork", trace_cache=TraceCache())
         assert executor.preload_traces(
-            [("ocean", 1, None, OCEAN_KW)], CFG) == 0
+            [PointSpec.make("ocean", 1, None, OCEAN_KW)], CFG) == 0
 
 
 def test_fork_backend_rejected_without_fork(monkeypatch):
