@@ -52,6 +52,7 @@ from .core.resultcache import ResultCache, TraceStore
 from .core.study import ClusteringStudy, cache_label
 from .core.workingset import knee_of, working_set_curve
 from .runtime import RunRequest, RunSession, TimingObserver
+from .service import ServiceDaemon, SweepService
 from .sim.compiled import TraceCache
 from .sim.stats import summarize
 
@@ -431,6 +432,27 @@ def cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived sweep service daemon (see docs/SERVICE.md)."""
+    executor = _executor(args)
+    # the service layer owns memoization (the cache must compose with
+    # single-flight coalescing), so the executor's own cache hook is
+    # detached and handed to the service instead
+    cache = executor.cache
+    executor.cache = None
+    service = SweepService(executor, base_config=_base_config(args),
+                           cache=cache)
+    daemon = ServiceDaemon(service, host=args.host, port=args.port,
+                           drain_deadline=args.drain)
+    rc = daemon.run_blocking(announce=True)
+    stats = service.stats_dict()
+    print(f"repro-clustering serve: stopped after {stats['uptime_s']:.1f}s — "
+          f"{stats['points']} points ({stats['executed']} executed, "
+          f"{stats['cache_hits']} cache hits, {stats['coalesced']} "
+          f"coalesced, {stats['errors']} errors)", file=sys.stderr)
+    return rc
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Engine throughput + sweep wall-clock benchmark (BENCH_engine.json)."""
     import json
@@ -652,6 +674,19 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-processor cache KB or 'inf' (default inf)")
     sp.add_argument("--output", help="save the trace to this .npz file")
     sp.set_defaults(func=cmd_trace)
+
+    sp = add_command("serve",
+                     help="long-lived simulation daemon: HTTP+JSON point/"
+                     "sweep API with single-flight request coalescing")
+    sp.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default 127.0.0.1)")
+    sp.add_argument("--port", type=int, default=8642,
+                    help="TCP port (default 8642; 0 = ephemeral)")
+    sp.add_argument("--drain", type=_positive_float, default=10.0,
+                    metavar="SECS",
+                    help="graceful-shutdown deadline for in-flight points "
+                    "(default 10)")
+    sp.set_defaults(func=cmd_serve)
 
     sp = add_command("bench",
                      help="engine throughput + sweep wall-clock benchmark")

@@ -18,7 +18,8 @@ Everything the rest of the library needs to know about the machine lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
+from typing import Mapping
 
 __all__ = ["DEFAULT_LINE_SIZE", "DEFAULT_PAGE_SIZE", "LatencyModel",
            "MachineConfig", "NetworkConfig", "NETWORK_PROVIDERS",
@@ -212,6 +213,23 @@ class NetworkConfig:
             "background_load": self.background_load,
             "contention": self.contention,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "NetworkConfig":
+        """Inverse of :meth:`to_dict`; raises ``ValueError`` on bad shape.
+
+        Unknown keys are rejected rather than ignored so a misspelled
+        knob in a wire payload or hand-written config surfaces as an
+        error instead of silently running the default.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown NetworkConfig field(s): {unknown}")
+        try:
+            return cls(**dict(data))
+        except TypeError as exc:
+            raise ValueError(f"malformed NetworkConfig payload: {exc}") from exc
 
 
 @dataclass(frozen=True)

@@ -46,12 +46,13 @@ from __future__ import annotations
 import time
 import traceback
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
+from ..runtime.hooks import RunObserver
 from ..runtime.plan import RunRequest
 from .config import MachineConfig
 from .metrics import RunResult
@@ -138,7 +139,8 @@ class SweepExecutionError(RuntimeError):
 
 def evaluate_point(spec: PointSpec, base_config: MachineConfig,
                    trace_cache: "TraceCache | None" = None,
-                   use_compiled: bool = True) -> RunResult:
+                   use_compiled: bool = True,
+                   observer: RunObserver | None = None) -> RunResult:
     """Run one point to completion (the process-pool worker function).
 
     Builds a fresh application instance so every configuration solves the
@@ -156,15 +158,18 @@ def evaluate_point(spec: PointSpec, base_config: MachineConfig,
     from ..runtime.session import RunSession  # deferred: avoids import cycle
 
     session = RunSession(base_config=base_config, trace_cache=trace_cache,
-                         use_compiled=use_compiled)
+                         use_compiled=use_compiled, observer=observer)
     return session.run(spec)
 
 
 def _evaluate_timed(spec: PointSpec, base_config: MachineConfig,
                     trace_cache: "TraceCache | None" = None,
-                    use_compiled: bool = True) -> tuple[RunResult, float]:
+                    use_compiled: bool = True,
+                    observer: RunObserver | None = None
+                    ) -> tuple[RunResult, float]:
     t0 = time.perf_counter()
-    result = evaluate_point(spec, base_config, trace_cache, use_compiled)
+    result = evaluate_point(spec, base_config, trace_cache, use_compiled,
+                            observer)
     return result, time.perf_counter() - t0
 
 
@@ -209,6 +214,14 @@ class SweepExecutor:
         Evaluate points by compiled-trace replay (default).  Off = drive
         the generators directly on every point, the historical behaviour
         (bit-identical, only slower).
+    observer:
+        Optional :class:`~repro.runtime.hooks.RunObserver` attached to
+        every in-process evaluation (serial backend and
+        :meth:`submit_one`'s thread path).  Worker *processes* never see
+        it — hook state could not come back across the pickle boundary —
+        so the process/fork backends ignore it.  Observed runs are
+        bit-identical to detached ones (the runtime parity suite pins
+        this), so attaching a counter or timer never perturbs results.
     """
 
     backend: str = "serial"
@@ -217,11 +230,17 @@ class SweepExecutor:
     cache: ResultCache | None = field(default=None, repr=False)
     trace_cache: "TraceCache | None" = field(default=None, repr=False)
     use_compiled: bool = True
+    observer: RunObserver | None = field(default=None, repr=False)
     # the process pool outlives individual run() calls: worker startup
     # (interpreter + numpy import) costs ~1s, which would otherwise be
     # paid again by every figure's sweep in a multi-figure command
     _pool: ProcessPoolExecutor | None = field(default=None, init=False,
                                               repr=False, compare=False)
+    # lazily-created thread pool backing submit_one() under the serial
+    # backend: the simulator is pure python (GIL-bound), so threads add
+    # no parallelism — they exist to give callers a non-blocking handle
+    _threads: ThreadPoolExecutor | None = field(default=None, init=False,
+                                                repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -306,7 +325,7 @@ class SweepExecutor:
                            base: MachineConfig) -> PointOutcome:
         try:
             result, elapsed = _evaluate_timed(spec, base, self.trace_cache,
-                                              self.use_compiled)
+                                              self.use_compiled, self.observer)
         except Exception:
             return PointOutcome(spec, error=traceback.format_exc())
         return PointOutcome(spec, result=result, elapsed=elapsed)
@@ -317,11 +336,85 @@ class SweepExecutor:
         for i in pending:
             outcomes[i] = self._evaluate_isolated(specs[i], base)
 
+    def submit_one(self, spec: Any,
+                   base_config: MachineConfig | None = None
+                   ) -> "Future[PointOutcome]":
+        """Dispatch one point; returns a future resolving to its outcome.
+
+        The async-friendly single-point API (the sweep-service daemon's
+        execution path): the returned :class:`concurrent.futures.Future`
+        always resolves to a :class:`PointOutcome` — evaluation failures
+        become error outcomes, never exceptions on the future.  Process
+        and fork backends submit to the shared worker pool; the serial
+        backend runs on a lazily-created thread (same process, so an
+        attached :attr:`observer` hears the run).
+
+        Unlike :meth:`run_one`, neither the result cache nor the
+        per-point ``timeout`` is consulted: the caller owns memoization,
+        coalescing, and deadlines (the daemon implements all three on
+        top of this primitive).
+        """
+        base = base_config or MachineConfig()
+        spec = as_point_spec(spec)
+        out: "Future[PointOutcome]" = Future()
+        try:
+            if self.backend in ("process", "fork"):
+                inner = self._process_pool().submit(
+                    _evaluate_timed, spec, base, self.trace_cache,
+                    self.use_compiled)
+            else:
+                inner = self._thread_pool().submit(
+                    _evaluate_timed, spec, base, self.trace_cache,
+                    self.use_compiled, self.observer)
+        except Exception as exc:  # e.g. submitting to an already-broken pool
+            if isinstance(exc, BrokenProcessPool):
+                self.close()
+            out.set_result(PointOutcome(spec, error=self._exc_text(exc)))
+            return out
+
+        def _done(f: Future) -> None:
+            try:
+                result, elapsed = f.result()
+            except BaseException as exc:  # noqa: BLE001 — becomes an outcome
+                if isinstance(exc, BrokenProcessPool):
+                    # a dead worker poisons the pool; reopen it next submit
+                    self.close()
+                outcome = PointOutcome(spec, error=self._exc_text(exc))
+            else:
+                outcome = PointOutcome(spec, result=result, elapsed=elapsed)
+            if not out.cancelled():
+                try:
+                    out.set_result(outcome)
+                except Exception:  # pragma: no cover — racing cancellation
+                    pass
+
+        inner.add_done_callback(_done)
+        return out
+
+    @staticmethod
+    def _exc_text(exc: BaseException) -> str:
+        return ("".join(traceback.format_exception_only(type(exc), exc))
+                .strip() or repr(exc))
+
+    def worker_processes(self) -> list:
+        """The pool's live worker processes (empty for serial/thread)."""
+        pool = self._pool
+        if pool is None:
+            return []
+        return list(getattr(pool, "_processes", {}).values())
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the pool's worker processes (empty for serial/thread)."""
+        return [p.pid for p in self.worker_processes() if p.pid is not None]
+
     def close(self) -> None:
-        """Shut down the worker pool (idempotent; a later run reopens it)."""
+        """Shut down the worker pools (idempotent; a later run reopens them)."""
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        if self._threads is not None:
+            self._threads.shutdown(wait=False, cancel_futures=True)
+            self._threads = None
 
     def __enter__(self) -> "SweepExecutor":
         return self
@@ -363,6 +456,13 @@ class SweepExecutor:
                 program.runtime_columns()
                 resident += 1
         return resident
+
+    def _thread_pool(self) -> ThreadPoolExecutor:
+        if self._threads is None:
+            self._threads = ThreadPoolExecutor(
+                max_workers=self.max_workers or 1,
+                thread_name_prefix="repro-point")
+        return self._threads
 
     def _process_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:

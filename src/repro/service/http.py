@@ -1,0 +1,265 @@
+"""A deliberately small HTTP/1.1 layer over :mod:`asyncio` streams.
+
+The sweep service speaks plain HTTP+JSON with zero third-party
+dependencies, so this module implements exactly the subset the daemon
+and the async client need and nothing more:
+
+* request parsing (request line, headers, ``Content-Length`` bodies)
+  with hard size limits — an oversized or malformed request raises
+  :class:`HTTPParseError` and becomes a 400, never a hung connection;
+* fixed-length JSON responses (``Content-Length``) and chunked
+  streaming responses (``Transfer-Encoding: chunked``) for the
+  JSON-lines sweep stream;
+* response parsing for the async client, including chunk de-framing.
+
+Connections are HTTP/1.1 keep-alive by default; a handler (or the
+client) closes by sending ``Connection: close``.  Anything fancier —
+TLS, compression, HTTP/2, multipart — is out of scope on purpose: the
+daemon binds to localhost and trusts its reverse proxy for the rest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Mapping
+
+__all__ = ["HTTPParseError", "HTTPRequest", "HTTPResponse", "JSONLineWriter",
+           "REASONS", "format_request", "iter_chunks", "read_request",
+           "read_response", "response_bytes", "send_json"]
+
+#: request-line + one header line limit (bytes)
+MAX_LINE = 8192
+#: header count limit per message
+MAX_HEADERS = 100
+#: request body limit (bytes) — a sweep of thousands of points fits easily
+MAX_BODY = 8 * 1024 * 1024
+
+REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+           405: "Method Not Allowed", 408: "Request Timeout",
+           413: "Payload Too Large", 500: "Internal Server Error",
+           503: "Service Unavailable", 504: "Gateway Timeout"}
+
+
+class HTTPParseError(ValueError):
+    """The peer sent something that is not the HTTP we speak."""
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed request: method, split target, lowercased headers, body."""
+
+    method: str
+    path: str
+    query: str
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        """The body parsed as JSON; :class:`HTTPParseError` if it isn't."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HTTPParseError(f"body is not valid JSON: {exc}") from exc
+
+    @property
+    def wants_close(self) -> bool:
+        return self.headers.get("connection", "").lower() == "close"
+
+
+@dataclass
+class HTTPResponse:
+    """One parsed response (client side).
+
+    ``body`` is ``None`` while a chunked payload is still on the wire —
+    drain it with :func:`iter_chunks`.
+    """
+
+    status: int
+    headers: dict[str, str]
+    body: bytes | None = None
+
+    @property
+    def chunked(self) -> bool:
+        return (self.headers.get("transfer-encoding", "").lower()
+                == "chunked")
+
+    def json(self) -> Any:
+        if self.body is None:
+            raise HTTPParseError("chunked response has no eager body")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HTTPParseError(f"body is not valid JSON: {exc}") from exc
+
+
+# ------------------------------------------------------------------ parsing
+async def _read_headers(reader: asyncio.StreamReader) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n"):
+            return headers
+        if not line:
+            raise HTTPParseError("connection closed inside headers")
+        if len(line) > MAX_LINE:
+            raise HTTPParseError("header line too long")
+        if len(headers) >= MAX_HEADERS:
+            raise HTTPParseError("too many headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HTTPParseError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+
+def _body_length(headers: Mapping[str, str]) -> int:
+    raw = headers.get("content-length", "0") or "0"
+    try:
+        length = int(raw)
+    except ValueError:
+        raise HTTPParseError(f"bad Content-Length {raw!r}") from None
+    if length < 0:
+        raise HTTPParseError("negative Content-Length")
+    if length > MAX_BODY:
+        raise HTTPParseError(f"body of {length} bytes exceeds the "
+                             f"{MAX_BODY}-byte limit")
+    return length
+
+
+async def read_request(reader: asyncio.StreamReader) -> HTTPRequest | None:
+    """Parse one request; ``None`` on clean EOF before the request line."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError) as exc:
+        raise HTTPParseError(str(exc)) from exc
+    if not line:
+        return None
+    if len(line) > MAX_LINE:
+        raise HTTPParseError("request line too long")
+    parts = line.decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HTTPParseError(f"malformed request line {line!r}")
+    method, target, _version = parts
+    headers = await _read_headers(reader)
+    length = _body_length(headers)
+    try:
+        body = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError as exc:
+        raise HTTPParseError("connection closed inside body") from exc
+    path, _, query = target.partition("?")
+    return HTTPRequest(method.upper(), path, query, headers, body)
+
+
+async def read_response(reader: asyncio.StreamReader) -> HTTPResponse:
+    """Parse a status line + headers (+ body unless chunked)."""
+    line = await reader.readline()
+    if not line:
+        raise HTTPParseError("connection closed before status line")
+    parts = line.decode("latin-1").split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise HTTPParseError(f"malformed status line {line!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise HTTPParseError(f"malformed status {parts[1]!r}") from None
+    headers = await _read_headers(reader)
+    response = HTTPResponse(status, headers)
+    if not response.chunked:
+        length = _body_length(headers)
+        try:
+            response.body = (await reader.readexactly(length)
+                             if length else b"")
+        except asyncio.IncompleteReadError as exc:
+            raise HTTPParseError("connection closed inside body") from exc
+    return response
+
+
+async def iter_chunks(reader: asyncio.StreamReader) -> AsyncIterator[bytes]:
+    """Yield the payload of each chunk until the terminating 0-chunk."""
+    while True:
+        line = await reader.readline()
+        if not line:
+            raise HTTPParseError("connection closed inside chunked body")
+        try:
+            size = int(line.strip().split(b";")[0], 16)
+        except ValueError:
+            raise HTTPParseError(f"bad chunk size {line!r}") from None
+        if size > MAX_BODY:
+            raise HTTPParseError("oversized chunk")
+        try:
+            data = await reader.readexactly(size)
+            trailer = await reader.readexactly(2)
+        except asyncio.IncompleteReadError as exc:
+            raise HTTPParseError("connection closed inside chunk") from exc
+        if trailer != b"\r\n":
+            raise HTTPParseError("missing chunk terminator")
+        if size == 0:
+            return
+        yield data
+
+
+# ------------------------------------------------------------------ writing
+def _head(status: int, headers: list[tuple[str, str]]) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines += [f"{name}: {value}" for name, value in headers]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def response_bytes(status: int, body: bytes,
+                   content_type: str = "application/json") -> bytes:
+    """A complete fixed-length response as one buffer."""
+    return _head(status, [("Content-Type", content_type),
+                          ("Content-Length", str(len(body)))]) + body
+
+
+def send_json(writer: asyncio.StreamWriter, status: int, obj: Any) -> None:
+    """Queue one JSON response on ``writer`` (caller drains)."""
+    body = json.dumps(obj, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    writer.write(response_bytes(status, body))
+
+
+def format_request(method: str, path: str, host: str,
+                   body: bytes = b"", close: bool = False) -> bytes:
+    """A complete client request as one buffer (client side)."""
+    headers = [("Host", host), ("Accept", "application/json")]
+    if body:
+        headers += [("Content-Type", "application/json"),
+                    ("Content-Length", str(len(body)))]
+    if close:
+        headers.append(("Connection", "close"))
+    lines = [f"{method} {path} HTTP/1.1"]
+    lines += [f"{name}: {value}" for name, value in headers]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+@dataclass
+class JSONLineWriter:
+    """Chunked-encoding writer streaming one JSON object per line.
+
+    The sweep endpoint's transport: each finished point goes out as its
+    own chunk the moment it lands, so a client sees results in
+    completion order without waiting for the grid.
+    """
+
+    writer: asyncio.StreamWriter
+    started: bool = field(default=False, init=False)
+
+    def start(self, status: int = 200) -> None:
+        self.writer.write(_head(status, [
+            ("Content-Type", "application/x-ndjson"),
+            ("Transfer-Encoding", "chunked")]))
+        self.started = True
+
+    async def send(self, obj: Any) -> None:
+        line = (json.dumps(obj, sort_keys=True, separators=(",", ":"))
+                .encode("utf-8") + b"\n")
+        self.writer.write(f"{len(line):x}\r\n".encode("latin-1")
+                          + line + b"\r\n")
+        await self.writer.drain()
+
+    async def finish(self) -> None:
+        self.writer.write(b"0\r\n\r\n")
+        await self.writer.drain()

@@ -1,4 +1,6 @@
-"""Shared fixtures: small machine configurations used across the suite."""
+"""Shared fixtures: machine configurations and the sweep-service daemon."""
+
+import time
 
 import pytest
 
@@ -33,3 +35,45 @@ def cfg16() -> MachineConfig:
     """16 processors in 2-way clusters, 16 KB/processor caches."""
     return MachineConfig(n_processors=16, cluster_size=2,
                          cache_kb_per_processor=16)
+
+
+def assert_no_leaked_workers(processes, deadline_s: float = 15.0) -> None:
+    """Fail if any captured pool worker process outlives its daemon.
+
+    ``processes`` are ``multiprocessing.Process`` handles captured
+    *before* shutdown; ``is_alive()`` also reaps zombies, so a worker
+    that exited but was not yet joined counts as gone.
+    """
+    deadline = time.monotonic() + deadline_s
+    for proc in processes:
+        while proc.is_alive() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not proc.is_alive(), \
+            f"sweep-service worker pid {proc.pid} leaked past daemon teardown"
+
+
+@pytest.fixture(scope="session")
+def serve_daemon(tmp_path_factory):
+    """One warm sweep-service daemon shared by the whole service suite.
+
+    Session-scoped so the tests don't each pay daemon startup: the
+    daemon runs on a background thread with an ephemeral port, a
+    session-private persistent result cache, and the in-process (serial)
+    execution backend — same-process execution is what lets the parity
+    tests compare daemon-served results against direct
+    :class:`~repro.runtime.session.RunSession` runs byte for byte.
+
+    Teardown stops the daemon and asserts that no executor worker
+    process outlived it (trivially true for the serial backend, and the
+    check keeps honest any future fixture switch to process/fork).
+    """
+    from repro.service import DaemonThread
+
+    daemon = DaemonThread(
+        base_config=MachineConfig(n_processors=8),
+        cache_dir=tmp_path_factory.mktemp("service-result-cache"))
+    daemon.start()
+    yield daemon
+    workers = daemon.worker_processes()
+    daemon.stop()
+    assert_no_leaked_workers(workers)

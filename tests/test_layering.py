@@ -29,6 +29,15 @@ class TestRankMap:
         assert rank("repro.core.study") < rank("repro.analysis")
         assert rank("repro.analysis") < rank("repro.cli")
 
+    def test_service_sits_between_sweep_machinery_and_analysis(self):
+        # the daemon drives the executor (core) but must stay importable
+        # by analysis/cli; it may never be imported from below
+        rank = check_layering.rank_of
+        assert rank("repro.core.executor") < rank("repro.service.daemon")
+        assert rank("repro.service") == 6
+        assert rank("repro.service.daemon") < rank("repro.analysis")
+        assert rank("repro.service.client") < rank("repro.cli")
+
     def test_non_repro_modules_are_ignored(self):
         assert check_layering.rank_of("numpy") is None
         assert check_layering.rank_of("reprographics") is None

@@ -10,8 +10,9 @@ pipeline"):
           -> apps
             -> runtime
               -> core (sweep machinery: executor, study, bench, ...)
-                -> analysis
-                  -> cli
+                -> service (the sweep daemon)
+                  -> analysis
+                    -> cli
 
 An import is *upward* — and a violation — when the imported module's
 layer rank is greater than the importer's.  Ranks are assigned by the
@@ -50,9 +51,10 @@ RANKS: dict[str, int] = {
     "repro.apps": 3,
     "repro.runtime": 4,
     "repro.core": 5,
-    "repro.analysis": 6,
-    "repro.cli": 7,
-    "repro": 8,  # the package facade re-exports everything below it
+    "repro.service": 6,
+    "repro.analysis": 7,
+    "repro.cli": 8,
+    "repro": 9,  # the package facade re-exports everything below it
 }
 
 
