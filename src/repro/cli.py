@@ -21,6 +21,10 @@ Execution control (see ``docs/EXECUTION.md``):
 * ``--jobs N`` fans the sweep grid out over ``N`` worker processes
   (results are byte-identical to the serial run — the simulator is
   deterministic);
+* ``--batch`` switches to batched lockstep replay: sweep points that
+  share a compiled trace are grouped and driven over one decode of the
+  trace columns (still byte-identical; dynamic apps fall through to
+  per-point replay);
 * finished points are memoized in a persistent on-disk cache
   (``~/.cache/repro-clustering`` or ``$REPRO_CACHE_DIR``); a repeated
   command is served from cache.  ``--no-cache`` bypasses it,
@@ -95,11 +99,25 @@ def _executor(args: argparse.Namespace) -> SweepExecutor:
                   "method, which this platform does not provide",
                   file=sys.stderr)
             raise SystemExit(2)
+        if args.batch and args.no_cache:
+            # batching needs the disk trace store: groups dispatched to
+            # worker processes share their one decode via the store, and
+            # an LRU-only cache would silently degrade every group to a
+            # per-worker recapture — refuse instead
+            print("repro-clustering: --batch needs the persistent trace "
+                  "store, which --no-cache disables; drop one of the two "
+                  "flags", file=sys.stderr)
+            raise SystemExit(2)
+        if args.batch and args.timeout is not None:
+            print("repro-clustering: --batch evaluates whole trace-key "
+                  "groups per dispatch, so the per-point --timeout cannot "
+                  "be enforced; drop one of the two flags", file=sys.stderr)
+            raise SystemExit(2)
         executor = SweepExecutor(
             backend=backend,
             max_workers=jobs if jobs > 1 else None,
             timeout=args.timeout, cache=cache,
-            trace_cache=TraceCache(store))
+            trace_cache=TraceCache(store), batch=args.batch)
         args._executor = executor
     return executor
 
@@ -458,8 +476,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from .core.bench import (bench_engine, bench_jobs, bench_memory,
-                             bench_sweep, check_floor, write_report)
+    from .core.bench import (bench_batch, bench_engine, bench_jobs,
+                             bench_memory, bench_sweep, check_floor,
+                             write_report)
 
     apps = list(args.apps or APP_NAMES)
     config = _base_config(args)
@@ -519,19 +538,41 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 1
 
-    write_report(args.output, rows, sweep, config, memory=memory, jobs=jobs)
+    batch = None
+    if args.batch:
+        batch = bench_batch(apps, config, args.cluster_sizes,
+                            kwargs_of=kwargs_of,
+                            repeats=max(3, args.repeats))
+        print(f"\n# batched lockstep replay A/B ({batch.n_points} points, "
+              f"{batch.groups} trace-key groups, best of {batch.repeats})")
+        print(f"  per-point warm {batch.warm_s:>8.2f}s")
+        print(f"  batched        {batch.batched_s:>8.2f}s "
+              f"({batch.batch_speedup:.2f}x, "
+              f"{batch.points_per_s:.1f} points/s)")
+        print(f"  fused {batch.fused_points} / fallback "
+              f"{batch.fallback_points} / fallthrough "
+              f"{batch.fallthrough_points} points")
+        if not batch.identical:
+            print("ERROR: batched replay diverged from per-point results",
+                  file=sys.stderr)
+            return 1
+
+    write_report(args.output, rows, sweep, config, memory=memory, jobs=jobs,
+                 batch=batch)
     print(f"\nwrote {args.output}  [{time.time() - t0:.1f}s]")
 
     if args.floor:
         floor = json.loads(Path(args.floor).read_text(encoding="utf-8"))
         failures = check_floor(rows, floor, args.floor_tolerance,
-                               memory=memory)
+                               memory=memory, batch=batch)
         if failures:
             for line in failures:
                 print(f"FLOOR REGRESSION: {line}", file=sys.stderr)
             return 1
         measured = {r.app for r in rows}
         measured |= {f"memory:{m.stream}" for m in memory or ()}
+        if batch is not None:
+            measured |= {"batch:points_per_s", "batch:speedup"}
         covered = sorted(set(floor) & measured)
         print(f"floor check passed for {', '.join(covered) or 'no apps'} "
               f"(tolerance {args.floor_tolerance:.0%})")
@@ -565,6 +606,11 @@ def _add_global_options(p: argparse.ArgumentParser, *,
                    help="with --jobs N: fork-server mode — preload compiled "
                    "traces in the parent, fork workers that inherit them "
                    "copy-on-write (POSIX only; exits 2 elsewhere)")
+    p.add_argument("--batch", action="store_true", default=dflt(False),
+                   help="batched lockstep replay: group sweep points by "
+                   "compiled trace and replay each group over one shared "
+                   "decode (byte-identical results; composes with --jobs "
+                   "by sharding groups across workers)")
     p.add_argument("--timeout", type=_positive_float, default=dflt(None),
                    metavar="SECS",
                    help="per-point wall-clock limit (process backend only); "

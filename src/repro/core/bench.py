@@ -54,8 +54,9 @@ from .config import MachineConfig
 from .executor import PointSpec, evaluate_point
 
 __all__ = ["AppBenchResult", "SweepBenchResult", "MemoryBenchResult",
-           "JobsBenchResult", "bench_engine", "bench_sweep", "bench_memory",
-           "bench_jobs", "check_floor", "write_report", "SCHEMA_VERSION"]
+           "JobsBenchResult", "BatchBenchResult", "bench_engine",
+           "bench_sweep", "bench_memory", "bench_jobs", "bench_batch",
+           "check_floor", "write_report", "SCHEMA_VERSION"]
 
 SCHEMA_VERSION = 1
 
@@ -439,13 +440,123 @@ def bench_jobs(apps: Sequence[str], config: MachineConfig,
     )
 
 
+@dataclass
+class BatchBenchResult:
+    """Same-session A/B: per-point warm replay vs batched lockstep replay.
+
+    ``warm_s`` is the per-point warm sweep (the exact measurement behind
+    :class:`SweepBenchResult.warm_s`); ``batched_s`` is the identical
+    grid through ``SweepExecutor(batch=True)`` — trace-key groups over
+    one shared decode, fused replay kernel — in the same process against
+    the same warm cache.  Passes interleave A,B,A,B,… and the fastest
+    pass per side is kept, so machine noise hits both sides
+    symmetrically.  ``identical`` compares both sides' full RunResult
+    JSON byte-for-byte and should never be False.
+    """
+
+    apps: list[str]
+    cluster_sizes: list[int]
+    cache_kb: float | None
+    n_points: int
+    repeats: int
+    warm_s: float
+    batched_s: float
+    groups: int
+    fused_points: int
+    fallback_points: int
+    fallthrough_points: int
+    identical: bool = True
+
+    @property
+    def batch_speedup(self) -> float:
+        """Warm-sweep wall-clock improvement of batched over per-point."""
+        return self.warm_s / self.batched_s if self.batched_s else 0.0
+
+    @property
+    def points_per_s(self) -> float:
+        """Sweep points retired per second under batched replay."""
+        return self.n_points / self.batched_s if self.batched_s else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        out = asdict(self)
+        out.update(batch_speedup=round(self.batch_speedup, 3),
+                   points_per_s=round(self.points_per_s, 3))
+        return out
+
+
+def bench_batch(apps: Sequence[str], config: MachineConfig,
+                cluster_sizes: Iterable[int] = (1, 2, 4, 8),
+                cache_kb: float | None = 4.0,
+                kwargs_of: Mapping[str, Mapping[str, Any]] | None = None,
+                repeats: int = 3) -> BatchBenchResult:
+    """Time the warm sweep per-point vs batched, in one session.
+
+    A cold, untimed pass first captures every trace into a throwaway
+    disk store so both timed sides replay from the same fully-warm
+    cache.  The A side is the per-point warm sweep (``evaluate_point``
+    per spec, exactly :func:`bench_sweep`'s ``warm`` mode); the B side
+    is the same grid through a serial batching executor.  A fresh
+    executor per B pass keeps the reported group counters single-pass.
+    """
+    import tempfile
+
+    from ..core.resultcache import TraceStore
+    from ..sim.compiled import TraceCache, clear_memory_cache
+    from .executor import SweepExecutor
+
+    kwargs_of = kwargs_of or {}
+    cluster_sizes = list(cluster_sizes)
+    specs = [PointSpec.make(app, cs, cache_kb, dict(kwargs_of.get(app, {})))
+             for app in apps for cs in cluster_sizes]
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-batch-") as tmp:
+        clear_memory_cache()
+        cache = TraceCache(TraceStore(tmp))
+        reference = [evaluate_point(s, config, trace_cache=cache).to_json()
+                     for s in specs]
+
+        warm_s: float | None = None
+        batched_s: float | None = None
+        identical = True
+        stats = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            warm = [evaluate_point(s, config, trace_cache=cache).to_json()
+                    for s in specs]
+            elapsed = time.perf_counter() - t0
+            warm_s = elapsed if warm_s is None else min(warm_s, elapsed)
+
+            executor = SweepExecutor(backend="serial", batch=True,
+                                     trace_cache=cache)
+            t0 = time.perf_counter()
+            outcomes = executor.run(specs, config)
+            elapsed = time.perf_counter() - t0
+            batched_s = elapsed if batched_s is None else min(batched_s,
+                                                              elapsed)
+            batched = [o.result.to_json() if o.ok else o.error
+                       for o in outcomes]
+            identical = identical and warm == reference \
+                and batched == reference
+            stats = executor.batch_stats
+
+    return BatchBenchResult(
+        apps=list(apps), cluster_sizes=cluster_sizes, cache_kb=cache_kb,
+        n_points=len(specs), repeats=max(1, repeats),
+        warm_s=warm_s or 0.0, batched_s=batched_s or 0.0,
+        groups=stats.groups, fused_points=stats.fused_points,
+        fallback_points=stats.fallback_points,
+        fallthrough_points=stats.fallthrough_points, identical=identical,
+    )
+
+
 def write_report(path: str | Path,
                  engine: Sequence[AppBenchResult],
                  sweep: SweepBenchResult | None = None,
                  config: MachineConfig | None = None,
                  extra: Mapping[str, Any] | None = None,
                  memory: Sequence[MemoryBenchResult] | None = None,
-                 jobs: JobsBenchResult | None = None) -> dict[str, Any]:
+                 jobs: JobsBenchResult | None = None,
+                 batch: BatchBenchResult | None = None) -> dict[str, Any]:
     """Assemble and write ``BENCH_engine.json``; returns the payload."""
     payload: dict[str, Any] = {
         "schema": SCHEMA_VERSION,
@@ -460,6 +571,8 @@ def write_report(path: str | Path,
         payload["memory"] = {r.stream: r.to_dict() for r in memory}
     if jobs is not None:
         payload["jobs"] = jobs.to_dict()
+    if batch is not None:
+        payload["batch"] = batch.to_dict()
     if extra:
         payload.update(extra)
     path = Path(path)
@@ -473,30 +586,45 @@ def check_floor(engine: Sequence[AppBenchResult],
                 floor: Mapping[str, float],
                 tolerance: float = 0.30,
                 memory: Sequence[MemoryBenchResult] | None = None,
+                batch: BatchBenchResult | None = None,
                 ) -> list[str]:
     """Compare measured throughput against a checked-in floor.
 
     ``floor`` maps app name → minimum acceptable replay ops/sec; keys of
     the form ``"memory:<stream>"`` (e.g. ``"memory:hit"``) instead floor
-    the :func:`bench_memory` streams.  A measurement below
-    ``floor * (1 - tolerance)`` is a regression.  Returns human-readable
-    failure lines (empty = all good).  Entries absent from the floor are
-    ignored, so the floor file can cover a subset.
+    the :func:`bench_memory` streams, and ``"batch:points_per_s"`` /
+    ``"batch:speedup"`` floor the :func:`bench_batch` A/B.  A measurement
+    below ``floor * (1 - tolerance)`` is a regression.  Returns
+    human-readable failure lines (empty = all good).  Entries absent from
+    the floor are ignored, so the floor file can cover a subset.
     """
     if not (0.0 <= tolerance < 1.0):
         raise ValueError("tolerance must be in [0, 1)")
     failures = []
-    measured = [(r.app, "replay throughput", r.replay_ops_per_s)
+    measured = [(r.app, "replay throughput", r.replay_ops_per_s, "ops/s")
                 for r in engine]
-    measured += [(f"memory:{r.stream}", "protocol throughput", r.ops_per_s)
+    measured += [(f"memory:{r.stream}", "protocol throughput",
+                  r.ops_per_s, "ops/s")
                  for r in (memory or ())]
-    for name, what, got in measured:
+    if batch is not None:
+        measured += [
+            ("batch:points_per_s", "batched-sweep throughput",
+             batch.points_per_s, "points/s"),
+            ("batch:speedup", "batched-vs-warm speedup",
+             batch.batch_speedup, "x"),
+        ]
+    for name, what, got, unit in measured:
         want = floor.get(name)
         if want is None:
             continue
         limit = want * (1.0 - tolerance)
         if got < limit:
-            failures.append(
-                f"{name}: {what} {got:,.0f} ops/s is below "
-                f"floor {want:,.0f} - {tolerance:.0%} = {limit:,.0f}")
+            if unit == "x":
+                failures.append(
+                    f"{name}: {what} {got:.2f}x is below "
+                    f"floor {want:.2f} - {tolerance:.0%} = {limit:.2f}")
+            else:
+                failures.append(
+                    f"{name}: {what} {got:,.0f} {unit} is below "
+                    f"floor {want:,.0f} - {tolerance:.0%} = {limit:,.0f}")
     return failures

@@ -59,6 +59,7 @@ from .metrics import RunResult
 from .resultcache import ResultCache
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.batch.runner import BatchStats
     from ..sim.compiled import TraceCache
 
 __all__ = ["BACKENDS", "PointSpec", "PointOutcome", "SweepExecutor",
@@ -173,6 +174,25 @@ def _evaluate_timed(spec: PointSpec, base_config: MachineConfig,
     return result, time.perf_counter() - t0
 
 
+def _evaluate_group_timed(specs: Sequence[PointSpec],
+                          base_config: MachineConfig,
+                          trace_cache: "TraceCache | None" = None,
+                          observer: RunObserver | None = None):
+    """Run one batch group (the process-pool group worker function).
+
+    Returns ``(items, counters)`` where ``items`` are the per-point
+    :class:`~repro.sim.batch.runner.BatchItem`\\ s in input order and
+    ``counters`` carries the group's fused/fallback split back across
+    the pickle boundary for the parent's :class:`BatchStats`.
+    """
+    from ..sim.batch.runner import BatchStats, run_group  # deferred: cycle
+
+    stats = BatchStats()
+    items = run_group(specs, base_config, trace_cache, observer, stats)
+    return items, {"fused_points": stats.fused_points,
+                   "fallback_points": stats.fallback_points}
+
+
 def raise_failures(outcomes: Iterable[PointOutcome]) -> None:
     """Raise :class:`SweepExecutionError` if any outcome failed."""
     failures = [o for o in outcomes if not o.ok]
@@ -222,6 +242,17 @@ class SweepExecutor:
         so the process/fork backends ignore it.  Observed runs are
         bit-identical to detached ones (the runtime parity suite pins
         this), so attaching a counter or timer never perturbs results.
+    batch:
+        Evaluate sweeps in **batched lockstep replay** mode (the CLI's
+        ``--batch``): a :class:`~repro.sim.batch.planner.BatchPlanner`
+        groups the pending points by compiled-trace key and each group
+        runs through the fused replay kernel over one shared decode of
+        its trace (:mod:`repro.sim.batch`).  Dynamic apps and lone trace
+        keys fall through to the per-point path.  Composes with the
+        process/fork backends by sharding *groups* across workers.
+        Results are byte-identical to per-point execution; only
+        wall-clock changes.  Requires ``use_compiled``.  The per-point
+        ``timeout`` is scaled by group size (a group is one dispatch).
     """
 
     backend: str = "serial"
@@ -231,6 +262,11 @@ class SweepExecutor:
     trace_cache: "TraceCache | None" = field(default=None, repr=False)
     use_compiled: bool = True
     observer: RunObserver | None = field(default=None, repr=False)
+    batch: bool = False
+    #: batch counters (groups formed, batched vs fallthrough points,
+    #: fused vs fallback replays) accumulated across every run/submit
+    batch_stats: "BatchStats" = field(default=None, init=False,  # type: ignore[assignment]
+                                      repr=False, compare=False)
     # the process pool outlives individual run() calls: worker startup
     # (interpreter + numpy import) costs ~1s, which would otherwise be
     # paid again by every figure's sweep in a multi-figure command
@@ -254,10 +290,17 @@ class SweepExecutor:
             raise ValueError("max_workers must be positive or None")
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError("timeout must be positive or None")
+        if self.batch and not self.use_compiled:
+            raise ValueError(
+                "batched execution replays compiled traces; it cannot be "
+                "combined with use_compiled=False")
         if self.use_compiled and self.trace_cache is None:
             from ..sim.compiled import TraceCache  # deferred: import cycle
 
             self.trace_cache = TraceCache()
+        from ..sim.batch.runner import BatchStats  # deferred: import cycle
+
+        self.batch_stats = BatchStats()
 
     # ------------------------------------------------------------------ API
     def run(self, specs: Iterable[Any],
@@ -265,8 +308,11 @@ class SweepExecutor:
         """Evaluate every spec; outcomes come back in input order.
 
         Cache hits are resolved up front; only misses are dispatched to the
-        backend.  A point that raises (or times out under the process
-        backend) produces an error outcome instead of aborting the sweep.
+        backend.  Identical pending specs are evaluated once — the first
+        occurrence runs, the duplicates share its :class:`RunResult`
+        object (``elapsed`` 0.0).  A point that raises (or times out
+        under the process backend) produces an error outcome instead of
+        aborting the sweep.
         """
         base = base_config or MachineConfig()
         specs = [as_point_spec(s) for s in specs]
@@ -284,20 +330,43 @@ class SweepExecutor:
                     continue
             pending.append(i)
 
-        if pending:
-            if self.backend == "fork":
+        # dedupe before submission: RunRequest is frozen and hashable, so
+        # two identical specs in one sweep (same app, geometry, kwargs,
+        # network) collapse into one evaluation even with the result
+        # cache off; only unique points reach the backend
+        primary_of: dict[PointSpec, int] = {}
+        duplicate_of: dict[int, int] = {}
+        unique: list[int] = []
+        for i in pending:
+            j = primary_of.setdefault(specs[i], i)
+            if j == i:
+                unique.append(i)
+            else:
+                duplicate_of[i] = j
+
+        if unique:
+            if self.batch:
+                self._run_batched(specs, unique, base, outcomes)
+            elif self.backend == "fork":
                 # fork-server mode: warm the trace LRU before the pool
                 # exists so the forked workers inherit it copy-on-write
                 if self._pool is None:
-                    self.preload_traces([specs[i] for i in pending], base)
-                self._run_process(specs, pending, base, outcomes)
+                    self.preload_traces([specs[i] for i in unique], base)
+                self._run_process(specs, unique, base, outcomes)
             elif self.backend == "process":
-                self._run_process(specs, pending, base, outcomes)
+                self._run_process(specs, unique, base, outcomes)
             else:
-                self._run_serial(specs, pending, base, outcomes)
+                self._run_serial(specs, unique, base, outcomes)
+
+        for i, j in duplicate_of.items():
+            src = outcomes[j]
+            if src is not None:
+                outcomes[i] = PointOutcome(specs[i], result=src.result,
+                                           error=src.error, cached=src.cached,
+                                           elapsed=0.0)
 
         if self.cache is not None:
-            for i in pending:
+            for i in unique:
                 out = outcomes[i]
                 if out is not None and out.ok and out.result is not None:
                     self.cache.put(keys[i], out.result)
@@ -335,6 +404,155 @@ class SweepExecutor:
                     outcomes: list[PointOutcome | None]) -> None:
         for i in pending:
             outcomes[i] = self._evaluate_isolated(specs[i], base)
+
+    def _run_batched(self, specs: list[PointSpec], pending: list[int],
+                     base: MachineConfig,
+                     outcomes: list[PointOutcome | None]) -> None:
+        """Plan trace-key groups and dispatch them to the backend.
+
+        Groups run through :func:`~repro.sim.batch.runner.run_group` —
+        in-process under the serial backend, one pool task per group
+        under process/fork (groups shard across workers; points of one
+        group share a worker so they share the decode).  Fallthrough
+        singles take the exact per-point path they always did.
+        """
+        from ..sim.batch.planner import BatchPlanner  # deferred: cycle
+
+        plan = BatchPlanner().plan([specs[i] for i in pending], base)
+        self.batch_stats.observe_plan(plan)
+        singles = [pending[p] for p in plan.singles]
+        groups = [[pending[p] for p in g.indices] for g in plan.groups]
+
+        if self.backend in ("process", "fork"):
+            if self.backend == "fork" and self._pool is None:
+                self.preload_traces([specs[i] for i in pending], base)
+            if singles:
+                self._run_process(specs, singles, base, outcomes)
+            self._run_groups_process(specs, groups, base, outcomes)
+        else:
+            from ..sim.batch.runner import run_group  # deferred: cycle
+
+            if singles:
+                # fallthrough points get no shared decode, but the serial
+                # backend still replays them through the fused interpreter
+                # (a dynamic app's recorded trace fuses exactly like a
+                # batched one); stats=None keeps the fused/fallback
+                # counters meaning "points served from a group replay"
+                sspecs = [specs[i] for i in singles]
+                try:
+                    items = run_group(sspecs, base, self.trace_cache,
+                                      self.observer, stats=None)
+                except Exception:
+                    self._run_serial(specs, singles, base, outcomes)
+                else:
+                    for i, item in zip(singles, items):
+                        outcomes[i] = PointOutcome(
+                            specs[i], result=item.result, error=item.error,
+                            elapsed=item.elapsed)
+
+            for group in groups:
+                gspecs = [specs[i] for i in group]
+                try:
+                    items = run_group(gspecs, base, self.trace_cache,
+                                      self.observer, self.batch_stats)
+                except Exception:
+                    err = traceback.format_exc()
+                    for i in group:
+                        outcomes[i] = PointOutcome(specs[i], error=err)
+                else:
+                    for i, item in zip(group, items):
+                        outcomes[i] = PointOutcome(
+                            specs[i], result=item.result, error=item.error,
+                            elapsed=item.elapsed)
+
+    def _run_groups_process(self, specs: list[PointSpec],
+                            groups: list[list[int]], base: MachineConfig,
+                            outcomes: list[PointOutcome | None]) -> None:
+        if not groups:
+            return
+        pool = self._process_pool()
+        futures = [(group, pool.submit(_evaluate_group_timed,
+                                       [specs[i] for i in group], base,
+                                       self.trace_cache))
+                   for group in groups]
+        for group, future in futures:
+            # one group is one dispatch: the per-point budget scales
+            timeout = (None if self.timeout is None
+                       else self.timeout * len(group))
+            try:
+                items, counters = future.result(timeout=timeout)
+            except _FuturesTimeout:
+                future.cancel()
+                for i in group:
+                    outcomes[i] = PointOutcome(
+                        specs[i],
+                        error=f"batch group timed out after {timeout:g}s")
+            except Exception as exc:
+                if isinstance(exc, BrokenProcessPool):
+                    self.close()
+                err = self._exc_text(exc)
+                for i in group:
+                    outcomes[i] = PointOutcome(specs[i], error=err)
+            else:
+                self.batch_stats.fused_points += counters["fused_points"]
+                self.batch_stats.fallback_points += counters["fallback_points"]
+                for i, item in zip(group, items):
+                    outcomes[i] = PointOutcome(
+                        specs[i], result=item.result, error=item.error,
+                        elapsed=item.elapsed)
+
+    def submit_group(self, specs: Sequence[Any],
+                     base_config: MachineConfig | None = None
+                     ) -> "Future[list[PointOutcome]]":
+        """Dispatch one batch group; resolves to outcomes in input order.
+
+        The group-shaped sibling of :meth:`submit_one` (the service
+        daemon's ``/sweep`` batching path): the returned future always
+        resolves to one :class:`PointOutcome` per spec — a failing point
+        (or a dead worker) becomes error outcomes, never an exception on
+        the future.  Like :meth:`submit_one`, neither the result cache
+        nor ``timeout`` is consulted; the caller owns both.
+        """
+        base = base_config or MachineConfig()
+        specs = [as_point_spec(s) for s in specs]
+        out: "Future[list[PointOutcome]]" = Future()
+        try:
+            if self.backend in ("process", "fork"):
+                inner = self._process_pool().submit(
+                    _evaluate_group_timed, specs, base, self.trace_cache)
+            else:
+                inner = self._thread_pool().submit(
+                    _evaluate_group_timed, specs, base, self.trace_cache,
+                    self.observer)
+        except Exception as exc:
+            if isinstance(exc, BrokenProcessPool):
+                self.close()
+            err = self._exc_text(exc)
+            out.set_result([PointOutcome(s, error=err) for s in specs])
+            return out
+
+        def _done(f: Future) -> None:
+            try:
+                items, counters = f.result()
+            except BaseException as exc:  # noqa: BLE001 — becomes outcomes
+                if isinstance(exc, BrokenProcessPool):
+                    self.close()
+                err = self._exc_text(exc)
+                result = [PointOutcome(s, error=err) for s in specs]
+            else:
+                self.batch_stats.fused_points += counters["fused_points"]
+                self.batch_stats.fallback_points += counters["fallback_points"]
+                result = [PointOutcome(s, result=it.result, error=it.error,
+                                       elapsed=it.elapsed)
+                          for s, it in zip(specs, items)]
+            if not out.cancelled():
+                try:
+                    out.set_result(result)
+                except Exception:  # pragma: no cover — racing cancellation
+                    pass
+
+        inner.add_done_callback(_done)
+        return out
 
     def submit_one(self, spec: Any,
                    base_config: MachineConfig | None = None

@@ -95,12 +95,24 @@ class RunSession:
         Optional :class:`~repro.runtime.hooks.RunObserver`.  When
         ``None`` the pipeline takes no timestamps — detached sessions
         add zero work to the historical path.
+    replayer:
+        Optional replay engine override, ``replayer(config, app,
+        program) -> RunResult | None``.  When set, every compiled-trace
+        replay of the pipeline (trace hits *and* fresh captures) is
+        offered to it first; returning ``None`` falls back to the
+        canonical :meth:`Application.run` replay.  A replayer must be
+        result-exact — the seam exists for the batched lockstep kernel
+        (:mod:`repro.sim.batch`), which is pinned byte-identical —
+        and is never consulted on generator-path or
+        :meth:`run_detailed` executions.
     """
 
     base_config: MachineConfig | None = None
     trace_cache: "TraceCache | None" = field(default=None, repr=False)
     use_compiled: bool = True
     observer: RunObserver | None = field(default=None, repr=False)
+    replayer: "Callable[[MachineConfig, Application, CompiledProgram], RunResult | None] | None" = \
+        field(default=None, repr=False)
 
     # ------------------------------------------------------------------ API
     def run(self, request: RunRequest) -> RunResult:
@@ -143,7 +155,7 @@ class RunSession:
             if obs is not None:
                 obs.on_phase("trace-hit", clock.lap(),
                              {"ops": program.total_ops})
-            result = app.run(program=program)
+            result = self._replay(plan, app, program)
             outcome = RunOutcome(plan, result, app, program=program,
                                  from_cache=True)
             return self._finish(outcome, clock)
@@ -155,7 +167,7 @@ class RunSession:
                 obs.on_phase("capture", clock.lap(),
                              {"ops": program.total_ops,
                               "source_ops": program.source_ops})
-            result = app.run(program=program)
+            result = self._replay(plan, app, program)
             outcome = RunOutcome(plan, result, app, program=program)
             return self._finish(outcome, clock)
         # dynamic task-queue app: the stream is decided by the run itself,
@@ -223,6 +235,15 @@ class RunSession:
         return self._finish(outcome, clock)
 
     # ------------------------------------------------------------ internals
+    def _replay(self, plan: RunPlan, app: "Application",
+                program: "CompiledProgram") -> RunResult:
+        """Replay a compiled trace, honouring the :attr:`replayer` seam."""
+        if self.replayer is not None:
+            result = self.replayer(plan.config, app, program)
+            if result is not None:
+                return result
+        return app.run(program=program)
+
     def _finish(self, outcome: RunOutcome, clock: _Clock | None) -> RunOutcome:
         obs = self.observer
         if obs is not None:

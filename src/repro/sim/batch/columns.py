@@ -1,0 +1,186 @@
+"""One trace decode shared by every consumer of a batch.
+
+A :class:`~repro.sim.compiled.CompiledProgram` stores its per-processor
+opcode/operand columns as compact ``array('q')`` pairs.  In a batched
+sweep the same program is replayed N times, so everything that can be
+derived from the columns alone — independent of cluster geometry, cache
+sizing, or network — is computed once per *group* and cached on the
+program (:attr:`CompiledProgram._batch`):
+
+* **packed columns** — per-processor lists of ``arg << 3 | opcode`` ints,
+  the fused kernel's instruction stream.  One packed int per operation
+  halves the fetch cost of the replay loop (a single list-iterator
+  ``next`` instead of two indexed loads and a pointer bump) and lets a
+  processor switch restore its position by swapping one iterator.  The
+  encoding is exact for negative operands too: Python and numpy both
+  shift arithmetically over two's complement.
+* **static counter totals** — per-processor ``cpu`` cycles, read counts
+  and write counts.  In the canonical engine every operation's busy-time
+  contribution is configuration-independent (each READ eventually adds
+  exactly one hit cycle, blocked LOCKs receive their acquisition cycle
+  through the unlock handoff, WORK adds its operand), as are the
+  per-reference ``reads``/``writes`` counter bumps.  The fused kernel
+  therefore seeds these totals up front and drops the increments from
+  its inner loop entirely.
+
+Two decoders produce identical values:
+
+* the **pure-python reference** — one pass over the boxed column pairs,
+  always available;
+* the **numpy fast path** — bulk ``frombuffer`` views with vectorised
+  packing and counting.  Auto-detected at import, value-identical to the
+  reference (pinned by the batch property suite).
+
+:func:`prepare_columns` (the plain-list views used by per-point replay)
+also lives here so a batch group's canonical-fallback replays share one
+decode as well.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, NamedTuple
+
+from ..program import OP_BARRIER, OP_READ, OP_WORK, OP_WRITE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..compiled import CompiledProgram
+
+try:  # numpy is an optional accelerator here, never a requirement
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image ships numpy
+    _np = None
+
+__all__ = ["HAVE_NUMPY", "BatchAux", "batch_aux_numpy", "batch_aux_python",
+           "columns_numpy", "columns_python", "prepare_batch",
+           "prepare_columns"]
+
+#: whether the numpy decoder is available in this interpreter
+HAVE_NUMPY = _np is not None
+
+Columns = tuple  # (ops_of, args_of): two lists of per-processor int lists
+
+
+class BatchAux(NamedTuple):
+    """Everything the fused kernel precomputes from one compiled trace."""
+
+    #: per-processor packed instruction stream (``arg << 3 | opcode``)
+    packed: list[list[int]]
+    #: per-processor static busy cycles (WORK operands + one cycle per
+    #: READ/WRITE/LOCK/UNLOCK — configuration-independent, see module doc)
+    cpu: list[int]
+    #: per-processor READ-operation counts (= ``counters.reads`` share)
+    reads: list[int]
+    #: per-processor WRITE-operation counts (= ``counters.writes`` share)
+    writes: list[int]
+
+
+def columns_python(program: "CompiledProgram") -> Columns:
+    """Reference decoder: box each ``array('q')`` column into a list."""
+    return ([list(o) for o in program.ops],
+            [list(a) for a in program.args])
+
+
+def columns_numpy(program: "CompiledProgram") -> Columns:
+    """Numpy decoder: bulk-view the int64 buffers, box via ``tolist``.
+
+    ``array('q')`` exposes its buffer directly, so ``frombuffer`` is a
+    zero-copy view and ``tolist`` is the only pass over the data.  The
+    resulting python ints are value-identical to the reference decoder's.
+    """
+    if _np is None:  # pragma: no cover - guarded by HAVE_NUMPY
+        raise RuntimeError("numpy is not available")
+    return ([_np.frombuffer(o, dtype=_np.int64).tolist() if len(o) else []
+             for o in program.ops],
+            [_np.frombuffer(a, dtype=_np.int64).tolist() if len(a) else []
+             for a in program.args])
+
+
+def batch_aux_python(program: "CompiledProgram") -> BatchAux:
+    """Reference aux builder: one python pass per processor column."""
+    packed: list[list[int]] = []
+    cpu: list[int] = []
+    reads: list[int] = []
+    writes: list[int] = []
+    for ops_col, args_col in zip(program.ops, program.args):
+        col = []
+        append = col.append
+        busy = n_reads = n_writes = 0
+        for op, arg in zip(ops_col, args_col):
+            append(arg << 3 | op)
+            if op == OP_WORK:
+                busy += arg
+            elif op == OP_READ:
+                busy += 1
+                n_reads += 1
+            elif op == OP_WRITE:
+                busy += 1
+                n_writes += 1
+            elif op != OP_BARRIER:  # LOCK / UNLOCK
+                busy += 1
+        packed.append(col)
+        cpu.append(busy)
+        reads.append(n_reads)
+        writes.append(n_writes)
+    return BatchAux(packed, cpu, reads, writes)
+
+
+def batch_aux_numpy(program: "CompiledProgram") -> BatchAux:
+    """Numpy aux builder: vectorised packing and counting per column."""
+    if _np is None:  # pragma: no cover - guarded by HAVE_NUMPY
+        raise RuntimeError("numpy is not available")
+    packed: list[list[int]] = []
+    cpu: list[int] = []
+    reads: list[int] = []
+    writes: list[int] = []
+    for ops_col, args_col in zip(program.ops, program.args):
+        if not len(ops_col):
+            packed.append([])
+            cpu.append(0)
+            reads.append(0)
+            writes.append(0)
+            continue
+        o = _np.frombuffer(ops_col, dtype=_np.int64)
+        a = _np.frombuffer(args_col, dtype=_np.int64)
+        packed.append((a << 3 | o).tolist())
+        n_work = int((o == OP_WORK).sum())
+        n_barrier = int((o == OP_BARRIER).sum())
+        busy = int(a[o == OP_WORK].sum()) + (len(o) - n_work - n_barrier)
+        cpu.append(busy)
+        reads.append(int((o == OP_READ).sum()))
+        writes.append(int((o == OP_WRITE).sum()))
+    return BatchAux(packed, cpu, reads, writes)
+
+
+def prepare_columns(program: "CompiledProgram",
+                    use_numpy: bool | None = None) -> Columns:
+    """Materialise (once) and return the program's replay columns.
+
+    Idempotent and shared: the views are cached on the program exactly
+    where :meth:`CompiledProgram.runtime_columns` caches its own, so one
+    ``prepare_columns`` call amortises the decode across every replay of
+    the program in this process.  ``use_numpy`` forces a decoder (tests);
+    the default picks numpy when available.
+    """
+    rt = program._runtime
+    if rt is None:
+        fast = HAVE_NUMPY if use_numpy is None else use_numpy
+        rt = columns_numpy(program) if fast else columns_python(program)
+        program._runtime = rt
+    return rt
+
+
+def prepare_batch(program: "CompiledProgram",
+                  use_numpy: bool | None = None) -> BatchAux:
+    """Materialise (once) and return the program's fused-replay aux.
+
+    Cached on :attr:`CompiledProgram._batch`; every point of a batch
+    group shares one decode.  ``use_numpy`` forces a builder (tests); the
+    default picks numpy when available.  Both builders yield identical
+    values.
+    """
+    aux = program._batch
+    if aux is None:
+        fast = HAVE_NUMPY if use_numpy is None else use_numpy
+        aux = batch_aux_numpy(program) if fast else batch_aux_python(program)
+        program._batch = aux
+    return aux

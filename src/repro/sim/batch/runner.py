@@ -1,0 +1,132 @@
+"""Run one batch group through the canonical pipeline, fused.
+
+:func:`run_group` evaluates the points of one trace-key group with a
+single :class:`~repro.runtime.session.RunSession` whose ``replayer``
+seam is bound to the fused lockstep kernel: the first point acquires the
+compiled trace (trace-cache hit or capture) and decodes the replay
+columns once; every point — including the first — then replays over
+those shared columns via :class:`~repro.sim.batch.engine.BatchedReplay`.
+Because the runner goes *through* the session, trace-cache accounting,
+observers, and the dynamic-app capture path behave exactly as they do
+per-point; only the engine/memory interpreter overhead changes.
+
+Failure isolation matches the sweep executor's: a point that raises
+yields an error item, and the rest of the group completes.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from ...core.config import MachineConfig
+from ...memory.coherence import CoherentMemorySystem
+from ...runtime.plan import RunRequest
+from ...runtime.session import RunSession
+from .engine import BatchedReplay
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...core.metrics import RunResult
+    from ...runtime.hooks import RunObserver
+    from ..compiled import TraceCache
+
+__all__ = ["BatchItem", "BatchStats", "run_group"]
+
+
+@dataclass
+class BatchItem:
+    """Per-point outcome of a group run (exactly one of result/error)."""
+
+    result: "RunResult | None" = None
+    error: str | None = None
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class BatchStats:
+    """Batch counters, accumulated across sweeps by the executor/daemon.
+
+    ``batched_points`` ran inside a group; ``fallthrough_points`` were
+    planned out of batching (dynamic apps, lone trace keys) and took the
+    per-point path; ``fused_points`` / ``fallback_points`` split the
+    batched ones by whether the fused kernel or the canonical replay
+    served them (fallback = unfusible memory system, exact either way).
+    """
+
+    groups: int = 0
+    batched_points: int = 0
+    fallthrough_points: int = 0
+    fused_points: int = 0
+    fallback_points: int = 0
+
+    def observe_plan(self, plan) -> None:
+        self.groups += len(plan.groups)
+        self.batched_points += plan.batched_points
+        self.fallthrough_points += len(plan.singles)
+
+    def points_per_group(self) -> float:
+        return self.batched_points / self.groups if self.groups else 0.0
+
+    def to_dict(self) -> dict:
+        return {"groups": self.groups,
+                "batched_points": self.batched_points,
+                "fallthrough_points": self.fallthrough_points,
+                "fused_points": self.fused_points,
+                "fallback_points": self.fallback_points,
+                "points_per_group": round(self.points_per_group(), 3)}
+
+
+def _make_replayer(stats: BatchStats | None):
+    """A :class:`RunSession` ``replayer`` bound to the fused kernel.
+
+    Builds the application's standard memory system (the same
+    construction :meth:`Application.run` performs) and replays through
+    :class:`BatchedReplay`, which decodes the program's columns once and
+    picks fused vs canonical per memory system.
+    """
+    state: dict = {}
+
+    def replayer(config, app, program):
+        batch = state.get("batch")
+        if batch is None or batch.program is not program:
+            batch = BatchedReplay(program)
+            state["batch"] = batch
+        memory = CoherentMemorySystem(config, app.allocator)
+        before = batch.points_fused
+        result = batch.run(config, memory)
+        if stats is not None:
+            if batch.points_fused > before:
+                stats.fused_points += 1
+            else:
+                stats.fallback_points += 1
+        return result
+
+    return replayer
+
+
+def run_group(specs: Sequence[RunRequest],
+              base_config: MachineConfig | None = None,
+              trace_cache: "TraceCache | None" = None,
+              observer: "RunObserver | None" = None,
+              stats: BatchStats | None = None) -> list[BatchItem]:
+    """Evaluate one trace-key group; items come back in input order."""
+    session = RunSession(base_config=base_config, trace_cache=trace_cache,
+                         use_compiled=True, observer=observer,
+                         replayer=_make_replayer(stats))
+    items: list[BatchItem] = []
+    for spec in specs:
+        t0 = time.perf_counter()
+        try:
+            result = session.run(spec)
+        except Exception:
+            items.append(BatchItem(error=traceback.format_exc()))
+        else:
+            items.append(BatchItem(result=result,
+                                   elapsed=time.perf_counter() - t0))
+    return items

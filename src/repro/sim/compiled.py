@@ -90,7 +90,7 @@ class CompiledProgram:
     """
 
     __slots__ = ("ops", "args", "n_processors", "line_size", "source_ops",
-                 "fused_work", "_runtime")
+                 "fused_work", "_runtime", "_batch")
 
     def __init__(self, ops: list[array], args: list[array], line_size: int,
                  source_ops: int, fused_work: bool) -> None:
@@ -107,6 +107,10 @@ class CompiledProgram:
         self.source_ops = source_ops
         self.fused_work = fused_work
         self._runtime: tuple[list[list[int]], list[list[int]]] | None = None
+        #: batched-replay decode cache (:mod:`repro.sim.batch.columns`):
+        #: packed per-processor columns plus the static per-processor
+        #: counter totals, shared by every point of a batch group
+        self._batch = None
 
     def runtime_columns(self) -> tuple[list[list[int]], list[list[int]]]:
         """Plain-list views of ``(ops, args)`` for the replay loop.

@@ -1,0 +1,119 @@
+"""Batched execution through the sweep executor: exactness and plumbing.
+
+The load-bearing pin: ``SweepExecutor(batch=True)`` over the runtime
+parity grid (all nine apps, two cluster sizes) must reproduce the
+checked-in golden bytes — batching is an execution strategy, never a
+second semantics.  The rest covers the batch plumbing: dedupe, stats,
+failure isolation, backend sharding, and the service-facing
+``submit_group`` seam.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.executor import PointSpec, SweepExecutor
+from repro.sim.compiled import TraceCache, clear_memory_cache
+
+from test_runtime import TINY
+
+GOLDEN = Path(__file__).parent / "golden" / "runtime_parity.json"
+
+CFG = MachineConfig(n_processors=8)
+OCEAN_KW = TINY["ocean"]
+
+
+def _grid(apps, clusters=(1, 2), cache_kb=4.0):
+    return [PointSpec.make(app, c, cache_kb, TINY[app])
+            for app in apps for c in clusters]
+
+
+class TestBatchedGoldenParity:
+    def test_batched_executor_reproduces_the_golden_bytes(self):
+        """All nine apps × two cluster sizes, batched == golden."""
+        golden = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        clear_memory_cache()
+        ex = SweepExecutor(batch=True, trace_cache=TraceCache())
+        specs = _grid(TINY)
+        outcomes = ex.run(specs, CFG)
+        for spec, outcome in zip(specs, outcomes):
+            assert outcome.ok, outcome.error
+            key = f"{spec.app}/c{spec.cluster_size}/4k"
+            assert outcome.result.to_json() == golden[key], \
+                f"{key}: batched execution diverged from golden"
+        # six stream-invariant apps batched (one group each), the three
+        # dynamic apps fell through to the per-point path
+        stats = ex.batch_stats
+        assert stats.groups == 6
+        assert stats.batched_points == 12
+        assert stats.fallthrough_points == 6
+        assert stats.fused_points == 12
+        assert stats.fallback_points == 0
+
+
+class TestBatchedBackends:
+    def test_process_backend_shards_groups_and_matches_serial(self):
+        specs = _grid(("ocean", "fft"))
+        serial = SweepExecutor().run(specs, CFG)
+        ex = SweepExecutor(backend="process", max_workers=2, batch=True)
+        try:
+            batched = ex.run(specs, CFG)
+        finally:
+            ex.close()
+        for s, b in zip(serial, batched):
+            assert b.ok, b.error
+            assert b.result.to_json() == s.result.to_json()
+        assert ex.batch_stats.groups == 2
+        assert ex.batch_stats.fused_points == 4
+
+    def test_submit_group_resolves_to_outcomes_in_order(self):
+        ex = SweepExecutor(batch=True)
+        specs = _grid(("ocean",), clusters=(1, 2, 4))
+        outcomes = ex.submit_group(specs, CFG).result(timeout=120)
+        reference = SweepExecutor().run(specs, CFG)
+        assert [o.spec for o in outcomes] == specs
+        for got, ref in zip(outcomes, reference):
+            assert got.ok, got.error
+            assert got.result.to_json() == ref.result.to_json()
+        assert ex.batch_stats.fused_points == 3
+
+    def test_submit_group_turns_a_bad_point_into_an_error_outcome(self):
+        ex = SweepExecutor(batch=True)
+        outcomes = ex.submit_group(
+            [PointSpec.make("notanapp", 1, None, {})], CFG).result(timeout=60)
+        assert len(outcomes) == 1
+        assert not outcomes[0].ok
+        assert "notanapp" in outcomes[0].error
+
+
+class TestDedupe:
+    def test_duplicate_specs_execute_once_and_share_the_result(self):
+        spec = PointSpec.make("ocean", 2, 4.0, OCEAN_KW)
+        other = PointSpec.make("ocean", 1, 4.0, OCEAN_KW)
+        out = SweepExecutor().run([spec, other, spec], CFG)
+        assert out[2].result is out[0].result
+        assert out[2].elapsed == 0.0
+        assert out[0].elapsed > 0.0
+        assert out[1].result is not out[0].result
+
+    def test_duplicates_of_a_failing_point_share_the_error(self):
+        bad = PointSpec.make("notanapp", 1, None, {})
+        out = SweepExecutor().run([bad, bad], CFG)
+        assert not out[0].ok and not out[1].ok
+        assert out[1].error == out[0].error
+
+
+class TestBatchFlagValidation:
+    def test_batch_requires_compiled_replay(self):
+        with pytest.raises(ValueError, match="compiled"):
+            SweepExecutor(batch=True, use_compiled=False)
+
+    def test_unknown_app_is_isolated_under_batch(self):
+        specs = [PointSpec.make("ocean", 1, 4.0, OCEAN_KW),
+                 PointSpec.make("notanapp", 1, None, {}),
+                 PointSpec.make("ocean", 2, 4.0, OCEAN_KW)]
+        outcomes = SweepExecutor(batch=True).run(specs, CFG)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert "notanapp" in outcomes[1].error

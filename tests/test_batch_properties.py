@@ -1,0 +1,179 @@
+"""Property suite for batched lockstep replay.
+
+Generates random (deadlock-free) parallel programs, compiles them, and
+requires the fused batch kernel to reproduce the canonical engine's
+result byte-for-byte — the same pin the nine real applications carry,
+but over adversarial op streams: degenerate phases, empty processors,
+lock convoys, tiny caches that evict constantly.
+
+Also pins the two column decoders (pure python vs numpy) against each
+other, and the planner's dynamic-app fallthrough.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.registry import QUICK_PROBLEM_SIZES
+from repro.core.config import MachineConfig
+from repro.memory.coherence import CoherentMemorySystem
+from repro.runtime.plan import RunRequest
+from repro.sim.batch import (HAVE_NUMPY, BatchedReplay, BatchPlanner,
+                             batch_aux_numpy, batch_aux_python, fusible,
+                             replay_fused)
+from repro.sim.compiled import compile_program
+from repro.sim.engine import execute_program
+from repro.sim.program import Barrier, Lock, Read, Unlock, Work, Write
+
+# ------------------------------------------------------------ generators
+#
+# A generated program is a phase table: ``table[pid][phase]`` is a list of
+# atoms, and every processor ends every phase with the same barrier, so
+# any table is deadlock-free by construction.  Atoms are private work,
+# shared reads/writes over a small address window (to force sharing and
+# invalidation traffic), or a lock-protected critical section (locks are
+# always released by the acquirer, in order).
+
+_ADDR = st.integers(min_value=0, max_value=1023)
+_BASIC = st.one_of(
+    st.tuples(st.just("work"), st.integers(min_value=0, max_value=20)),
+    st.tuples(st.just("read"), _ADDR),
+    st.tuples(st.just("write"), _ADDR),
+)
+_ATOM = st.one_of(
+    _BASIC,
+    st.tuples(st.just("cs"), st.integers(min_value=0, max_value=2),
+              st.lists(_BASIC, max_size=4)),
+)
+
+
+@st.composite
+def _programs(draw):
+    n = draw(st.sampled_from([2, 4]))
+    phases = draw(st.integers(min_value=1, max_value=3))
+    table = [[draw(st.lists(_ATOM, max_size=10)) for _ in range(phases)]
+             for _ in range(n)]
+    return n, phases, table
+
+
+def _factory_of(phases, table):
+    def emit(atom):
+        kind, arg = atom[0], atom[1]
+        if kind == "work":
+            yield Work(arg)
+        elif kind == "read":
+            yield Read(arg)
+        elif kind == "write":
+            yield Write(arg)
+        else:  # critical section
+            yield Lock(arg)
+            for basic in atom[2]:
+                yield from emit(basic)
+            yield Unlock(arg)
+
+    def factory(pid):
+        for phase in range(phases):
+            for atom in table[pid][phase]:
+                yield from emit(atom)
+            yield Barrier(phase)
+
+    return factory
+
+
+def _config(n, cluster, cache_kb):
+    return MachineConfig(n_processors=n, cluster_size=cluster,
+                         cache_kb_per_processor=cache_kb)
+
+
+_CACHES = st.sampled_from([None, 0.0625, 0.25])  # infinite / 4 / 16 lines
+
+
+# ------------------------------------------------- fused == canonical
+
+@settings(max_examples=60, deadline=None)
+@given(data=_programs(), cluster_pick=st.integers(min_value=0, max_value=2),
+       cache_kb=_CACHES)
+def test_fused_replay_matches_canonical_engine(data, cluster_pick, cache_kb):
+    n, phases, table = data
+    cluster = [1, 2, n][cluster_pick]
+    config = _config(n, cluster, cache_kb)
+    program = compile_program(_factory_of(phases, table), n,
+                              config.line_size)
+
+    reference = execute_program(config, CoherentMemorySystem(config),
+                                program, compiled=True)
+    memory = CoherentMemorySystem(config)
+    assert fusible(memory)
+    fused = replay_fused(config, memory, program)
+    assert fused.to_json() == reference.to_json()
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=_programs(), cache_kb=_CACHES)
+def test_one_batched_replay_drives_every_config_exactly(data, cache_kb):
+    """One BatchedReplay (one decode) over a whole cluster grid."""
+    n, phases, table = data
+    program = compile_program(_factory_of(phases, table), n,
+                              _config(n, 1, cache_kb).line_size)
+    batch = BatchedReplay(program)
+    for cluster in (1, 2, n):
+        config = _config(n, cluster, cache_kb)
+        reference = execute_program(config, CoherentMemorySystem(config),
+                                    program, compiled=True)
+        got = batch.run(config, CoherentMemorySystem(config))
+        assert got.to_json() == reference.to_json()
+    assert batch.points_fused == 3
+    assert batch.points_fallback == 0
+
+
+# ------------------------------------------------- decoder equivalence
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not available")
+@settings(max_examples=40, deadline=None)
+@given(data=_programs())
+def test_numpy_aux_decoder_matches_python_reference(data):
+    n, phases, table = data
+    config = _config(n, 1, None)
+    program = compile_program(_factory_of(phases, table), n,
+                              config.line_size)
+    assert batch_aux_numpy(program) == batch_aux_python(program)
+
+
+# ------------------------------------------------- planner fallthrough
+
+def _grid(app, clusters=(1, 2, 4)):
+    kwargs = QUICK_PROBLEM_SIZES.get(app, {})
+    return [RunRequest.make(app, c, 4.0, kwargs) for c in clusters]
+
+
+def test_stream_invariant_grid_collapses_into_one_group():
+    base = MachineConfig(n_processors=8)
+    plan = BatchPlanner().plan(_grid("fft"), base)
+    assert len(plan.groups) == 1
+    assert plan.groups[0].indices == (0, 1, 2)
+    assert plan.singles == []
+
+
+def test_dynamic_apps_fall_through_to_per_point_replay():
+    base = MachineConfig(n_processors=8)
+    for app in ("raytrace", "barnes", "volrend"):
+        plan = BatchPlanner().plan(_grid(app), base)
+        assert plan.groups == [], app
+        assert plan.singles == [0, 1, 2], app
+
+
+def test_lone_trace_keys_fall_through():
+    base = MachineConfig(n_processors=8)
+    plan = BatchPlanner().plan(_grid("fft", clusters=(1,)), base)
+    assert plan.groups == []
+    assert plan.singles == [0]
+
+
+def test_mixed_sweep_partitions_exactly_once():
+    base = MachineConfig(n_processors=8)
+    specs = _grid("fft") + _grid("raytrace") + _grid("lu")
+    plan = BatchPlanner().plan(specs, base)
+    seen = sorted(i for g in plan.groups for i in g.indices)
+    assert sorted(seen + plan.singles) == list(range(len(specs)))
+    assert plan.singles == [3, 4, 5]  # the raytrace points
+    assert plan.batched_points == 6

@@ -9,10 +9,17 @@ pipeline"):
         -> sim
           -> apps
             -> runtime
-              -> core (sweep machinery: executor, study, bench, ...)
-                -> service (the sweep daemon)
-                  -> analysis
-                    -> cli
+              -> sim.batch (batched lockstep replay over the runtime)
+                -> core (sweep machinery: executor, study, bench, ...)
+                  -> service (the sweep daemon)
+                    -> analysis
+                      -> cli
+
+``repro.sim.batch`` is the one sub-package ranked above its parent: its
+planner speaks ``runtime.plan`` requests and its runner drives the
+``runtime.session`` pipeline, so it sits between the runtime and the
+sweep machinery that dispatches batches (longest-prefix matching keeps
+the rest of ``repro.sim`` at the sim rank).
 
 An import is *upward* — and a violation — when the imported module's
 layer rank is greater than the importer's.  Ranks are assigned by the
@@ -50,11 +57,12 @@ RANKS: dict[str, int] = {
     "repro.sim": 2,
     "repro.apps": 3,
     "repro.runtime": 4,
-    "repro.core": 5,
-    "repro.service": 6,
-    "repro.analysis": 7,
-    "repro.cli": 8,
-    "repro": 9,  # the package facade re-exports everything below it
+    "repro.sim.batch": 5,  # batched replay: drives runtime sessions
+    "repro.core": 6,
+    "repro.service": 7,
+    "repro.analysis": 8,
+    "repro.cli": 9,
+    "repro": 10,  # the package facade re-exports everything below it
 }
 
 
