@@ -67,7 +67,7 @@ def test_replay_not_slower_than_legacy(app):
 
 def test_floor_covers_every_app(floor):
     """A new application must ship with a floor entry."""
-    apps = {k for k in floor if not k.startswith("memory:")}
+    apps = {k for k in floor if ":" not in k}  # "x:y" keys are sections
     assert apps == set(APP_NAMES)
 
 
@@ -80,3 +80,11 @@ def test_floor_covers_memory_streams(floor):
     results = bench_memory(n_ops=50_000, repeats=2)
     failures = check_floor([], floor, memory=results)
     assert not failures, failures[0]
+
+
+def test_floor_covers_kernel_sections(floor):
+    """The batched-replay and native-kernel A/B floors are pinned."""
+    sections = {k for k in floor if ":" in k and not k.startswith("memory:")}
+    assert sections == {"batch:points_per_s", "batch:speedup",
+                        "native:points_per_s", "native:batch_speedup",
+                        "native:warm_speedup"}

@@ -25,6 +25,11 @@ Execution control (see ``docs/EXECUTION.md``):
   share a compiled trace are grouped and driven over one decode of the
   trace columns (still byte-identical; dynamic apps fall through to
   per-point replay);
+* ``--native`` forces the native C replay kernel (exit 2 when it cannot
+  be built), ``--no-native`` forces the pure-python kernels; with
+  neither flag the kernel auto-selects (native when a compiler or cached
+  artifact is available).  Results are byte-identical either way;
+
 * finished points are memoized in a persistent on-disk cache
   (``~/.cache/repro-clustering`` or ``$REPRO_CACHE_DIR``); a repeated
   command is served from cache.  ``--no-cache`` bypasses it,
@@ -81,6 +86,39 @@ def _base_config(args: argparse.Namespace) -> MachineConfig:
     return MachineConfig(n_processors=args.processors)
 
 
+def _native_selection(args: argparse.Namespace) -> bool | None:
+    """Resolve ``--native/--no-native`` into a kernel selection.
+
+    Exits 2 on a contradictory pair, and on ``--native`` when the C
+    kernel cannot be built — a forced selection must fail up front, not
+    degrade mid-sweep.  Returns ``True``/``False``/``None`` (auto).
+    """
+    import os
+
+    import repro.native as native
+
+    if args.native and args.no_native:
+        print("repro-clustering: --native and --no-native are mutually "
+              "exclusive", file=sys.stderr)
+        raise SystemExit(2)
+    if args.native:
+        prev = os.environ.get("REPRO_NATIVE")
+        native.set_native(True)
+        try:
+            native.kernel()
+        except RuntimeError as exc:
+            if prev is None:
+                os.environ.pop("REPRO_NATIVE", None)
+            else:
+                os.environ["REPRO_NATIVE"] = prev
+            print(f"repro-clustering: --native: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+        return True
+    if args.no_native:
+        return False
+    return None
+
+
 def _executor(args: argparse.Namespace) -> SweepExecutor:
     """One executor per invocation, built from the global flags."""
     executor = getattr(args, "_executor", None)
@@ -117,7 +155,8 @@ def _executor(args: argparse.Namespace) -> SweepExecutor:
             backend=backend,
             max_workers=jobs if jobs > 1 else None,
             timeout=args.timeout, cache=cache,
-            trace_cache=TraceCache(store), batch=args.batch)
+            trace_cache=TraceCache(store), batch=args.batch,
+            native=_native_selection(args))
         args._executor = executor
     return executor
 
@@ -477,9 +516,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from .core.bench import (bench_batch, bench_engine, bench_jobs,
-                             bench_memory, bench_sweep, check_floor,
-                             write_report)
+                             bench_memory, bench_native, bench_sweep,
+                             check_floor, write_report)
 
+    _native_selection(args)  # validate the flag pair; exits 2 when forced
+    # native but unbuildable, so the A/B below never starts half-broken
     apps = list(args.apps or APP_NAMES)
     config = _base_config(args)
     kwargs_of = {a: _app_kwargs(a, args) for a in apps}
@@ -557,14 +598,35 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 1
 
+    native = None
+    if args.native:
+        native = bench_native(apps, config, args.cluster_sizes,
+                              kwargs_of=kwargs_of,
+                              repeats=max(3, args.repeats))
+        print(f"\n# native C kernel vs python A/B ({native.n_points} points, "
+              f"{native.groups} trace-key groups, best of {native.repeats})")
+        print(f"  per-point warm  python {native.python_warm_s:>8.2f}s  "
+              f"native {native.native_warm_s:>8.2f}s "
+              f"({native.warm_speedup:.2f}x)")
+        print(f"  batched         python {native.python_batched_s:>8.2f}s  "
+              f"native {native.native_batched_s:>8.2f}s "
+              f"({native.batch_speedup:.2f}x, "
+              f"{native.points_per_s:.1f} points/s)")
+        print(f"  {native.native_points} of {native.n_points} points on the "
+              f"C kernel per batched pass")
+        if not native.identical:
+            print("ERROR: native kernel diverged from pure-python results",
+                  file=sys.stderr)
+            return 1
+
     write_report(args.output, rows, sweep, config, memory=memory, jobs=jobs,
-                 batch=batch)
+                 batch=batch, native=native)
     print(f"\nwrote {args.output}  [{time.time() - t0:.1f}s]")
 
     if args.floor:
         floor = json.loads(Path(args.floor).read_text(encoding="utf-8"))
         failures = check_floor(rows, floor, args.floor_tolerance,
-                               memory=memory, batch=batch)
+                               memory=memory, batch=batch, native=native)
         if failures:
             for line in failures:
                 print(f"FLOOR REGRESSION: {line}", file=sys.stderr)
@@ -573,6 +635,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         measured |= {f"memory:{m.stream}" for m in memory or ()}
         if batch is not None:
             measured |= {"batch:points_per_s", "batch:speedup"}
+        if native is not None:
+            measured |= {"native:points_per_s", "native:batch_speedup",
+                         "native:warm_speedup"}
         covered = sorted(set(floor) & measured)
         print(f"floor check passed for {', '.join(covered) or 'no apps'} "
               f"(tolerance {args.floor_tolerance:.0%})")
@@ -611,6 +676,14 @@ def _add_global_options(p: argparse.ArgumentParser, *,
                    "compiled trace and replay each group over one shared "
                    "decode (byte-identical results; composes with --jobs "
                    "by sharding groups across workers)")
+    p.add_argument("--native", action="store_true", default=dflt(False),
+                   help="force the native C replay kernel (exit 2 when it "
+                   "cannot be built; results are byte-identical to the "
+                   "pure-python kernels).  In 'bench', also runs the "
+                   "native-vs-python A/B section")
+    p.add_argument("--no-native", action="store_true", default=dflt(False),
+                   help="force the pure-python replay kernels (default is "
+                   "auto: native when a compiler or cached artifact exists)")
     p.add_argument("--timeout", type=_positive_float, default=dflt(None),
                    metavar="SECS",
                    help="per-point wall-clock limit (process backend only); "

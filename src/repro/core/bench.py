@@ -45,6 +45,7 @@ waits for setup too.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -54,9 +55,10 @@ from .config import MachineConfig
 from .executor import PointSpec, evaluate_point
 
 __all__ = ["AppBenchResult", "SweepBenchResult", "MemoryBenchResult",
-           "JobsBenchResult", "BatchBenchResult", "bench_engine",
-           "bench_sweep", "bench_memory", "bench_jobs", "bench_batch",
-           "check_floor", "write_report", "SCHEMA_VERSION"]
+           "JobsBenchResult", "BatchBenchResult", "NativeBenchResult",
+           "bench_engine", "bench_sweep", "bench_memory", "bench_jobs",
+           "bench_batch", "bench_native", "check_floor", "write_report",
+           "SCHEMA_VERSION"]
 
 SCHEMA_VERSION = 1
 
@@ -549,6 +551,158 @@ def bench_batch(apps: Sequence[str], config: MachineConfig,
     )
 
 
+@dataclass
+class NativeBenchResult:
+    """Same-session A/B: pure-python replay kernels vs the native C kernel.
+
+    Four timed sides over one fully-warm trace cache, interleaved
+    python-warm, native-warm, python-batched, native-batched per repeat
+    (fastest pass per side kept): the ``warm`` pair is the per-point
+    sweep (``evaluate_point`` per spec, native serving each point through
+    the session's replay seam), the ``batched`` pair is the identical
+    grid through ``SweepExecutor(batch=True)`` — so ``batch_speedup`` is
+    *C kernel vs the python fused kernel*, not vs unbatched replay.
+    ``identical`` compares every side's full RunResult JSON
+    byte-for-byte and should never be False.
+    """
+
+    apps: list[str]
+    cluster_sizes: list[int]
+    cache_kb: float | None
+    n_points: int
+    repeats: int
+    python_warm_s: float
+    native_warm_s: float
+    python_batched_s: float
+    native_batched_s: float
+    groups: int
+    native_points: int
+    identical: bool = True
+
+    @property
+    def warm_speedup(self) -> float:
+        """Per-point warm-sweep improvement of native over pure python."""
+        return (self.python_warm_s / self.native_warm_s
+                if self.native_warm_s else 0.0)
+
+    @property
+    def batch_speedup(self) -> float:
+        """Batched-sweep improvement of native over the python fused kernel."""
+        return (self.python_batched_s / self.native_batched_s
+                if self.native_batched_s else 0.0)
+
+    @property
+    def points_per_s(self) -> float:
+        """Sweep points retired per second under native batched replay."""
+        return (self.n_points / self.native_batched_s
+                if self.native_batched_s else 0.0)
+
+    def to_dict(self) -> dict[str, Any]:
+        out = asdict(self)
+        out.update(warm_speedup=round(self.warm_speedup, 3),
+                   batch_speedup=round(self.batch_speedup, 3),
+                   points_per_s=round(self.points_per_s, 3))
+        return out
+
+
+def bench_native(apps: Sequence[str], config: MachineConfig,
+                 cluster_sizes: Iterable[int] = (1, 2, 4, 8),
+                 cache_kb: float | None = 4.0,
+                 kwargs_of: Mapping[str, Mapping[str, Any]] | None = None,
+                 repeats: int = 3) -> NativeBenchResult:
+    """Time the warm and batched sweeps under each replay kernel.
+
+    Mirrors :func:`bench_batch`'s protocol — cold untimed capture pass
+    into a throwaway disk store, then interleaved timed passes against
+    the same warm cache — but the A/B axis is the kernel selection
+    (:func:`repro.native.set_native`), toggled around each pass and
+    restored afterwards.  Raises up front when the native kernel cannot
+    be built; callers gate on availability.
+    """
+    import tempfile
+
+    import repro.native as native
+
+    from ..core.resultcache import TraceStore
+    from ..sim.compiled import TraceCache, clear_memory_cache
+    from .executor import SweepExecutor
+
+    kwargs_of = kwargs_of or {}
+    cluster_sizes = list(cluster_sizes)
+    specs = [PointSpec.make(app, cs, cache_kb, dict(kwargs_of.get(app, {})))
+             for app in apps for cs in cluster_sizes]
+
+    prev = os.environ.get("REPRO_NATIVE")
+    try:
+        native.set_native(True)
+        native.kernel()  # fail here, not mid-measurement
+
+        with tempfile.TemporaryDirectory(prefix="repro-bench-native-") as tmp:
+            clear_memory_cache()
+            cache = TraceCache(TraceStore(tmp))
+            native.set_native(False)
+            reference = [evaluate_point(s, config,
+                                        trace_cache=cache).to_json()
+                         for s in specs]
+
+            best: dict[str, float | None] = {
+                "python_warm": None, "native_warm": None,
+                "python_batched": None, "native_batched": None}
+            identical = True
+            stats = None
+
+            def warm_pass(use_native: bool) -> list[str]:
+                native.set_native(use_native)
+                key = "native_warm" if use_native else "python_warm"
+                t0 = time.perf_counter()
+                out = [evaluate_point(s, config,
+                                      trace_cache=cache).to_json()
+                       for s in specs]
+                elapsed = time.perf_counter() - t0
+                best[key] = (elapsed if best[key] is None
+                             else min(best[key], elapsed))
+                return out
+
+            def batched_pass(use_native: bool):
+                native.set_native(use_native)
+                key = "native_batched" if use_native else "python_batched"
+                executor = SweepExecutor(backend="serial", batch=True,
+                                         trace_cache=cache)
+                t0 = time.perf_counter()
+                outcomes = executor.run(specs, config)
+                elapsed = time.perf_counter() - t0
+                best[key] = (elapsed if best[key] is None
+                             else min(best[key], elapsed))
+                out = [o.result.to_json() if o.ok else o.error
+                       for o in outcomes]
+                return out, executor.batch_stats
+
+            for _ in range(max(1, repeats)):
+                pw = warm_pass(False)
+                nw = warm_pass(True)
+                pb, _pstats = batched_pass(False)
+                nb, stats = batched_pass(True)
+                identical = (identical and pw == reference
+                             and nw == reference and pb == reference
+                             and nb == reference)
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_NATIVE", None)
+        else:
+            os.environ["REPRO_NATIVE"] = prev
+
+    return NativeBenchResult(
+        apps=list(apps), cluster_sizes=cluster_sizes, cache_kb=cache_kb,
+        n_points=len(specs), repeats=max(1, repeats),
+        python_warm_s=best["python_warm"] or 0.0,
+        native_warm_s=best["native_warm"] or 0.0,
+        python_batched_s=best["python_batched"] or 0.0,
+        native_batched_s=best["native_batched"] or 0.0,
+        groups=stats.groups, native_points=stats.native_points,
+        identical=identical,
+    )
+
+
 def write_report(path: str | Path,
                  engine: Sequence[AppBenchResult],
                  sweep: SweepBenchResult | None = None,
@@ -556,7 +710,8 @@ def write_report(path: str | Path,
                  extra: Mapping[str, Any] | None = None,
                  memory: Sequence[MemoryBenchResult] | None = None,
                  jobs: JobsBenchResult | None = None,
-                 batch: BatchBenchResult | None = None) -> dict[str, Any]:
+                 batch: BatchBenchResult | None = None,
+                 native: NativeBenchResult | None = None) -> dict[str, Any]:
     """Assemble and write ``BENCH_engine.json``; returns the payload."""
     payload: dict[str, Any] = {
         "schema": SCHEMA_VERSION,
@@ -573,6 +728,8 @@ def write_report(path: str | Path,
         payload["jobs"] = jobs.to_dict()
     if batch is not None:
         payload["batch"] = batch.to_dict()
+    if native is not None:
+        payload["native"] = native.to_dict()
     if extra:
         payload.update(extra)
     path = Path(path)
@@ -587,13 +744,17 @@ def check_floor(engine: Sequence[AppBenchResult],
                 tolerance: float = 0.30,
                 memory: Sequence[MemoryBenchResult] | None = None,
                 batch: BatchBenchResult | None = None,
+                native: NativeBenchResult | None = None,
                 ) -> list[str]:
     """Compare measured throughput against a checked-in floor.
 
     ``floor`` maps app name → minimum acceptable replay ops/sec; keys of
     the form ``"memory:<stream>"`` (e.g. ``"memory:hit"``) instead floor
-    the :func:`bench_memory` streams, and ``"batch:points_per_s"`` /
-    ``"batch:speedup"`` floor the :func:`bench_batch` A/B.  A measurement
+    the :func:`bench_memory` streams, ``"batch:points_per_s"`` /
+    ``"batch:speedup"`` floor the :func:`bench_batch` A/B, and
+    ``"native:points_per_s"`` / ``"native:batch_speedup"`` /
+    ``"native:warm_speedup"`` floor the :func:`bench_native` kernel
+    A/B.  A measurement
     below ``floor * (1 - tolerance)`` is a regression.  Returns
     human-readable failure lines (empty = all good).  Entries absent from
     the floor are ignored, so the floor file can cover a subset.
@@ -612,6 +773,15 @@ def check_floor(engine: Sequence[AppBenchResult],
              batch.points_per_s, "points/s"),
             ("batch:speedup", "batched-vs-warm speedup",
              batch.batch_speedup, "x"),
+        ]
+    if native is not None:
+        measured += [
+            ("native:points_per_s", "native batched-sweep throughput",
+             native.points_per_s, "points/s"),
+            ("native:batch_speedup", "native-vs-python batched speedup",
+             native.batch_speedup, "x"),
+            ("native:warm_speedup", "native-vs-python warm speedup",
+             native.warm_speedup, "x"),
         ]
     for name, what, got, unit in measured:
         want = floor.get(name)

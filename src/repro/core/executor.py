@@ -182,14 +182,15 @@ def _evaluate_group_timed(specs: Sequence[PointSpec],
 
     Returns ``(items, counters)`` where ``items`` are the per-point
     :class:`~repro.sim.batch.runner.BatchItem`\\ s in input order and
-    ``counters`` carries the group's fused/fallback split back across
-    the pickle boundary for the parent's :class:`BatchStats`.
+    ``counters`` carries the group's native/fused/fallback kernel split
+    back across the pickle boundary for the parent's :class:`BatchStats`.
     """
     from ..sim.batch.runner import BatchStats, run_group  # deferred: cycle
 
     stats = BatchStats()
     items = run_group(specs, base_config, trace_cache, observer, stats)
-    return items, {"fused_points": stats.fused_points,
+    return items, {"native_points": stats.native_points,
+                   "fused_points": stats.fused_points,
                    "fallback_points": stats.fallback_points}
 
 
@@ -253,6 +254,14 @@ class SweepExecutor:
         Results are byte-identical to per-point execution; only
         wall-clock changes.  Requires ``use_compiled``.  The per-point
         ``timeout`` is scaled by group size (a group is one dispatch).
+    native:
+        Replay-kernel selection (the CLI's ``--native/--no-native``):
+        ``True`` forces the native C kernel (raising up front when it
+        cannot be built), ``False`` forces pure python, ``None`` (the
+        default) leaves the process-wide auto-detection — native when a
+        compiler or cached artifact exists — untouched.  The selection
+        is written to the ``REPRO_NATIVE`` environment variable so
+        process/fork workers inherit it.  Byte-identical either way.
     """
 
     backend: str = "serial"
@@ -263,6 +272,7 @@ class SweepExecutor:
     use_compiled: bool = True
     observer: RunObserver | None = field(default=None, repr=False)
     batch: bool = False
+    native: bool | None = None
     #: batch counters (groups formed, batched vs fallthrough points,
     #: fused vs fallback replays) accumulated across every run/submit
     batch_stats: "BatchStats" = field(default=None, init=False,  # type: ignore[assignment]
@@ -294,6 +304,12 @@ class SweepExecutor:
             raise ValueError(
                 "batched execution replays compiled traces; it cannot be "
                 "combined with use_compiled=False")
+        if self.native is not None:
+            import repro.native as _native  # deferred: keep import light
+
+            _native.set_native(self.native)
+            if self.native:
+                _native.kernel()  # force-on must fail here, not mid-sweep
         if self.use_compiled and self.trace_cache is None:
             from ..sim.compiled import TraceCache  # deferred: import cycle
 
@@ -494,8 +510,7 @@ class SweepExecutor:
                 for i in group:
                     outcomes[i] = PointOutcome(specs[i], error=err)
             else:
-                self.batch_stats.fused_points += counters["fused_points"]
-                self.batch_stats.fallback_points += counters["fallback_points"]
+                self._merge_counters(counters)
                 for i, item in zip(group, items):
                     outcomes[i] = PointOutcome(
                         specs[i], result=item.result, error=item.error,
@@ -540,8 +555,7 @@ class SweepExecutor:
                 err = self._exc_text(exc)
                 result = [PointOutcome(s, error=err) for s in specs]
             else:
-                self.batch_stats.fused_points += counters["fused_points"]
-                self.batch_stats.fallback_points += counters["fallback_points"]
+                self._merge_counters(counters)
                 result = [PointOutcome(s, result=it.result, error=it.error,
                                        elapsed=it.elapsed)
                           for s, it in zip(specs, items)]
@@ -608,6 +622,12 @@ class SweepExecutor:
 
         inner.add_done_callback(_done)
         return out
+
+    def _merge_counters(self, counters: dict) -> None:
+        """Fold one group worker's kernel split into :attr:`batch_stats`."""
+        self.batch_stats.native_points += counters.get("native_points", 0)
+        self.batch_stats.fused_points += counters["fused_points"]
+        self.batch_stats.fallback_points += counters["fallback_points"]
 
     @staticmethod
     def _exc_text(exc: BaseException) -> str:

@@ -237,11 +237,22 @@ class RunSession:
     # ------------------------------------------------------------ internals
     def _replay(self, plan: RunPlan, app: "Application",
                 program: "CompiledProgram") -> RunResult:
-        """Replay a compiled trace, honouring the :attr:`replayer` seam."""
+        """Replay a compiled trace, honouring the :attr:`replayer` seam.
+
+        With no replayer installed (or when it declines), the native C
+        kernel serves the point when selected and eligible
+        (:func:`~repro.sim.nativereplay.try_replay_native` — byte-
+        identical to the canonical replay), so single runs benefit from
+        the kernel exactly as ``--batch`` sweeps do.
+        """
         if self.replayer is not None:
             result = self.replayer(plan.config, app, program)
             if result is not None:
                 return result
+        from ..sim.nativereplay import try_replay_native
+        result = try_replay_native(plan.config, app, program)
+        if result is not None:
+            return result
         return app.run(program=program)
 
     def _finish(self, outcome: RunOutcome, clock: _Clock | None) -> RunOutcome:

@@ -72,6 +72,17 @@ __all__ = ["DaemonThread", "PointExecutionError", "ServiceDaemon",
            "ServiceStats", "SweepService"]
 
 
+def _native_status() -> dict[str, Any]:
+    """The replay-kernel selection snapshot for ``/stats``.
+
+    :func:`repro.native.status` plus nothing — kept as a seam so the
+    daemon never triggers a compile while answering a stats poll.
+    """
+    import repro.native as native
+
+    return native.status()
+
+
 class PointExecutionError(RuntimeError):
     """A point failed to execute; carries the client-safe summary.
 
@@ -307,6 +318,7 @@ class SweepService:
                 "enabled": bool(getattr(self.executor, "batch", False)),
                 **self.executor.batch_stats.to_dict(),
             },
+            "native": _native_status(),
             "pool": {
                 "backend": self.executor.backend,
                 "max_workers": self.executor.max_workers,

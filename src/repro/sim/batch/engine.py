@@ -57,6 +57,7 @@ from ...core.metrics import MissCause, RunResult, TimeBreakdown
 from ...memory.cache import EXCLUSIVE, SHARED
 from ...memory.coherence import CoherentMemorySystem
 from ..engine import SimulationDeadlock, execute_program
+from ..nativereplay import native_fusible, native_kernel, replay_native
 from ..stats import DEFAULT_ASSEMBLER
 from ..sync import SyncRegistry
 from .columns import prepare_batch
@@ -634,18 +635,22 @@ class BatchedReplay:
 
     Construction pays the single column decode (:func:`prepare_batch`,
     numpy-accelerated when available); each :meth:`run` then advances one
-    configuration over the shared columns — with the fused kernel when
-    the memory system qualifies, falling back to the canonical
-    ``execute_program`` replay otherwise.  Either way the per-config
-    simulation is exact; ``points_fused`` / ``points_fallback`` record
-    which path served each point for the batch counters.
+    configuration over the shared columns — with the native C kernel
+    when it is selected and the point qualifies
+    (:func:`~repro.sim.nativereplay.native_fusible`), the pure-python
+    fused kernel when the memory system qualifies, and the canonical
+    ``execute_program`` replay otherwise.  All three are byte-identical;
+    ``points_native`` / ``points_fused`` / ``points_fallback`` record
+    which kernel served each point for the batch counters.
     """
 
-    __slots__ = ("program", "points_fused", "points_fallback")
+    __slots__ = ("program", "points_native", "points_fused",
+                 "points_fallback")
 
     def __init__(self, program: "CompiledProgram",
                  use_numpy: bool | None = None) -> None:
         self.program = program
+        self.points_native = 0
         self.points_fused = 0
         self.points_fallback = 0
         prepare_batch(program, use_numpy=use_numpy)
@@ -653,6 +658,10 @@ class BatchedReplay:
     def run(self, config: "MachineConfig", memory) -> RunResult:
         """Advance one configuration; exact regardless of the path taken."""
         if fusible(memory):
+            lib = native_kernel()
+            if lib is not None and native_fusible(memory):
+                self.points_native += 1
+                return replay_native(config, memory, self.program, lib=lib)
             self.points_fused += 1
             return replay_fused(config, memory, self.program)
         self.points_fallback += 1

@@ -18,8 +18,10 @@ from __future__ import annotations
 
 import time
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
+
+import repro.native as native
 
 from ...core.config import MachineConfig
 from ...memory.coherence import CoherentMemorySystem
@@ -33,6 +35,12 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..compiled import TraceCache
 
 __all__ = ["BatchItem", "BatchStats", "run_group"]
+
+
+def _aux_decoder_name() -> str:
+    """``"numpy"`` or ``"python"`` — the column decoder in effect."""
+    from .columns import HAVE_NUMPY
+    return "numpy" if HAVE_NUMPY else "python"
 
 
 @dataclass
@@ -54,16 +62,24 @@ class BatchStats:
 
     ``batched_points`` ran inside a group; ``fallthrough_points`` were
     planned out of batching (dynamic apps, lone trace keys) and took the
-    per-point path; ``fused_points`` / ``fallback_points`` split the
-    batched ones by whether the fused kernel or the canonical replay
-    served them (fallback = unfusible memory system, exact either way).
+    per-point path; ``native_points`` / ``fused_points`` /
+    ``fallback_points`` split the batched ones by which kernel served
+    them — the C column interpreter, the pure-python fused kernel, or
+    the canonical replay (fallback = unfusible memory system) — all
+    three byte-identical.  ``kernel`` / ``aux_decoder`` snapshot the
+    selections in effect when the stats object was created: which replay
+    kernel a point would get and whether the numpy or pure-python aux
+    decoder counts the columns.
     """
 
     groups: int = 0
     batched_points: int = 0
     fallthrough_points: int = 0
+    native_points: int = 0
     fused_points: int = 0
     fallback_points: int = 0
+    kernel: str = field(default_factory=native.kernel_name)
+    aux_decoder: str = field(default_factory=lambda: _aux_decoder_name())
 
     def observe_plan(self, plan) -> None:
         self.groups += len(plan.groups)
@@ -77,8 +93,11 @@ class BatchStats:
         return {"groups": self.groups,
                 "batched_points": self.batched_points,
                 "fallthrough_points": self.fallthrough_points,
+                "native_points": self.native_points,
                 "fused_points": self.fused_points,
                 "fallback_points": self.fallback_points,
+                "kernel": self.kernel,
+                "aux_decoder": self.aux_decoder,
                 "points_per_group": round(self.points_per_group(), 3)}
 
 
@@ -98,10 +117,13 @@ def _make_replayer(stats: BatchStats | None):
             batch = BatchedReplay(program)
             state["batch"] = batch
         memory = CoherentMemorySystem(config, app.allocator)
-        before = batch.points_fused
+        before_native = batch.points_native
+        before_fused = batch.points_fused
         result = batch.run(config, memory)
         if stats is not None:
-            if batch.points_fused > before:
+            if batch.points_native > before_native:
+                stats.native_points += 1
+            elif batch.points_fused > before_fused:
                 stats.fused_points += 1
             else:
                 stats.fallback_points += 1

@@ -49,7 +49,7 @@ class TestBatchedGoldenParity:
         assert stats.groups == 6
         assert stats.batched_points == 12
         assert stats.fallthrough_points == 6
-        assert stats.fused_points == 12
+        assert stats.fused_points + stats.native_points == 12
         assert stats.fallback_points == 0
 
 
@@ -66,7 +66,8 @@ class TestBatchedBackends:
             assert b.ok, b.error
             assert b.result.to_json() == s.result.to_json()
         assert ex.batch_stats.groups == 2
-        assert ex.batch_stats.fused_points == 4
+        stats = ex.batch_stats
+        assert stats.fused_points + stats.native_points == 4
 
     def test_submit_group_resolves_to_outcomes_in_order(self):
         ex = SweepExecutor(batch=True)
@@ -77,7 +78,8 @@ class TestBatchedBackends:
         for got, ref in zip(outcomes, reference):
             assert got.ok, got.error
             assert got.result.to_json() == ref.result.to_json()
-        assert ex.batch_stats.fused_points == 3
+        stats = ex.batch_stats
+        assert stats.fused_points + stats.native_points == 3
 
     def test_submit_group_turns_a_bad_point_into_an_error_outcome(self):
         ex = SweepExecutor(batch=True)

@@ -122,7 +122,8 @@ def test_one_batched_replay_drives_every_config_exactly(data, cache_kb):
                                     program, compiled=True)
         got = batch.run(config, CoherentMemorySystem(config))
         assert got.to_json() == reference.to_json()
-    assert batch.points_fused == 3
+    # served by a replay kernel (python fused, or native when built)
+    assert batch.points_fused + batch.points_native == 3
     assert batch.points_fallback == 0
 
 

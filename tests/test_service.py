@@ -171,7 +171,7 @@ class TestBatchedSweep:
         assert batch["enabled"] is True
         assert batch["groups"] == 1
         assert batch["batched_points"] == 3
-        assert batch["fused_points"] == 3
+        assert batch["fused_points"] + batch["native_points"] == 3
         assert batch["fallback_points"] == 0
         # batch-primary joins are first deliveries, not coalesces
         assert stats["coalesced"] == 0

@@ -6,14 +6,15 @@ pipeline"):
 
     foundation (core.config / core.metrics / core.resultcache)
       -> memory / network
-        -> sim
-          -> apps
-            -> runtime
-              -> sim.batch (batched lockstep replay over the runtime)
-                -> core (sweep machinery: executor, study, bench, ...)
-                  -> service (the sweep daemon)
-                    -> analysis
-                      -> cli
+        -> native (C replay kernel: build layer + ctypes driver)
+          -> sim
+            -> apps
+              -> runtime
+                -> sim.batch (batched lockstep replay over the runtime)
+                  -> core (sweep machinery: executor, study, bench, ...)
+                    -> service (the sweep daemon)
+                      -> analysis
+                        -> cli
 
 ``repro.sim.batch`` is the one sub-package ranked above its parent: its
 planner speaks ``runtime.plan`` requests and its runner drives the
@@ -54,15 +55,16 @@ RANKS: dict[str, int] = {
     "repro.core.resultcache": 0,
     "repro.memory": 1,
     "repro.network": 1,
-    "repro.sim": 2,
-    "repro.apps": 3,
-    "repro.runtime": 4,
-    "repro.sim.batch": 5,  # batched replay: drives runtime sessions
-    "repro.core": 6,
-    "repro.service": 7,
-    "repro.analysis": 8,
-    "repro.cli": 9,
-    "repro": 10,  # the package facade re-exports everything below it
+    "repro.native": 2,  # C replay kernel; sim.nativereplay sits above it
+    "repro.sim": 3,
+    "repro.apps": 4,
+    "repro.runtime": 5,
+    "repro.sim.batch": 6,  # batched replay: drives runtime sessions
+    "repro.core": 7,
+    "repro.service": 8,
+    "repro.analysis": 9,
+    "repro.cli": 10,
+    "repro": 11,  # the package facade re-exports everything below it
 }
 
 
