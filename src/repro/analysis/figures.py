@@ -18,7 +18,7 @@ from ..core.study import CacheKey, SweepPoint, cache_label, normalize_sweep
 __all__ = ["Bar", "BarGroup", "FigureData", "contention_slowdown",
            "figure_from_cluster_sweep", "figure_from_capacity_sweep",
            "figure_from_contention_sweep", "render_rows", "render_ascii",
-           "render_slowdown"]
+           "render_scaling", "render_shape_comparison", "render_slowdown"]
 
 _COMPONENTS = ("cpu", "load", "merge", "sync")
 
@@ -214,4 +214,64 @@ def render_ascii(fig: FigureData, height: int = 25) -> str:
     lines.append(" ".join(label.center(width) for label, _ in cols))
     legend = "  ".join(f"{g}={c}" for c, g in _GLYPHS.items())
     lines.append(f"[{legend}] (bars are % of the 1p baseline per group)")
+    return "\n".join(lines)
+
+
+def render_scaling(study: Mapping[str, Any]) -> str:
+    """The §4 pushout study as an aligned table plus speedup bars.
+
+    ``study`` is a :func:`~repro.core.scaling.pushout` /
+    :func:`~repro.core.scaling.scaling_study` result dict.  Both curves
+    share one bar scale, so the clustered curve continuing to grow after
+    the unclustered one flattens — the pushout — is visible directly.
+    """
+    su = study["speedups_unclustered"]
+    sc = study["speedups_clustered"]
+    counts = study.get("processor_counts") or sorted(su)
+    csize = study["cluster_size"]
+    tier = study.get("tier")
+    title = (f"# {study['app']}: §4 scaling pushout — cluster {csize} vs 1"
+             + (f", tier {tier}" if tier else ""))
+    lines = [title, "=" * len(title)]
+    peak = max(max(su.values()), max(sc.values()), 1e-9)
+    width = 36
+    header = (f"{'P':>6} {'bar':>6} {'speedup':>8}  curve")
+    lines.append(header)
+    lines.append("-" * (len(header) + width - 5))
+    for p in counts:
+        for label, series in (("1p", su), (f"{csize}p", sc)):
+            bar = "#" * max(1, round(series[p] / peak * width))
+            lines.append(f"{p:>6} {label:>6} {series[p]:>8.2f}  {bar}")
+    eu = study["effective_unclustered"]
+    ec = study["effective_clustered"]
+    lines.append(f"effective processors: unclustered {eu}, clustered {ec}")
+    if ec > eu:
+        lines.append(f"pushout: {ec / eu:g}x — clustering pushes out the "
+                     f"effective processor count")
+    elif ec == eu:
+        lines.append("pushout: none at this problem size (clustered keeps "
+                     "pace with unclustered)")
+    else:
+        lines.append("pushout: negative — clustering rolls over earlier "
+                     "here")
+    return "\n".join(lines)
+
+
+def render_shape_comparison(cmp: Mapping[str, Any],
+                            label_a: str = "a",
+                            label_b: str = "b") -> str:
+    """A :func:`~repro.core.scaling.compare_shapes` result as a table.
+
+    Normalised speedups (each curve / its own peak) side by side with the
+    pointwise gap, closing with the max divergence the CI smoke gates on.
+    """
+    counts = cmp["processor_counts"]
+    na, nb = cmp["normalised_a"], cmp["normalised_b"]
+    title = f"# speedup-curve shape: {label_a} vs {label_b} (each / own peak)"
+    lines = [title, "=" * len(title),
+             f"{'P':>6} {label_a:>10} {label_b:>10} {'gap':>8}"]
+    for p in counts:
+        lines.append(f"{p:>6} {na[p]:>10.3f} {nb[p]:>10.3f} "
+                     f"{abs(na[p] - nb[p]):>8.3f}")
+    lines.append(f"max shape divergence: {cmp['max_divergence']:.3f}")
     return "\n".join(lines)

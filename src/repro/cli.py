@@ -47,7 +47,8 @@ from .analysis import (contention_slowdown, figure_from_capacity_sweep,
                        figure_from_cluster_sweep,
                        figure_from_contention_sweep, merge_anatomy,
                        miss_breakdown, render_ascii, render_cost_table,
-                       render_miss_breakdown, render_rows, render_slowdown,
+                       render_miss_breakdown, render_rows, render_scaling,
+                       render_shape_comparison, render_slowdown,
                        render_table1, render_table4, render_table5)
 from .apps.registry import (APP_NAMES, PAPER_PROBLEM_SIZES,
                             QUICK_PROBLEM_SIZES)
@@ -478,6 +479,85 @@ def cmd_network(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scaling(args: argparse.Namespace) -> int:
+    """The §4 pushout study: processor-count scaling, clustered vs not."""
+    import repro.native as native
+
+    from .core.scaling import (SCALING_TIERS, compare_shapes,
+                               scaling_processor_counts, scaling_study)
+
+    selection = _native_selection(args)
+    if selection is not None:
+        native.set_native(selection)
+    result_cache = None if args.no_cache else ResultCache(args.cache_dir)
+    store = None if args.no_cache else TraceStore(args.cache_dir)
+    trace_cache = TraceCache(store)
+
+    counts = tuple(args.counts) if args.counts else None
+    for c in (counts or scaling_processor_counts(args.tier)):
+        if c % args.clusters:
+            print(f"repro-clustering: cluster size {args.clusters} does "
+                  f"not divide processor count {c}", file=sys.stderr)
+            return 2
+
+    rendered: list[str] = []
+    studies: list[dict[str, Any]] = []
+    status = 0
+    for app in args.apps:
+        study = scaling_study(app, args.tier, cluster_size=args.clusters,
+                              cache_kb=args.cache,
+                              processor_counts=counts,
+                              marginal_threshold=args.threshold,
+                              trace_cache=trace_cache,
+                              result_cache=result_cache)
+        studies.append(study)
+        text = render_scaling(study)
+        rendered.append(text)
+        print(text)
+        if study["effective_clustered"] < study["effective_unclustered"]:
+            status = 1
+        if args.compare_tier:
+            other = scaling_study(app, args.compare_tier,
+                                  cluster_size=args.clusters,
+                                  cache_kb=args.cache,
+                                  processor_counts=counts,
+                                  marginal_threshold=args.threshold,
+                                  trace_cache=trace_cache,
+                                  result_cache=result_cache)
+            studies.append(other)
+            shape = compare_shapes(study["speedups_clustered"],
+                                   other["speedups_clustered"])
+            study["shape_vs"] = {"tier": args.compare_tier,
+                                 "max_divergence": shape["max_divergence"]}
+            text = render_shape_comparison(
+                shape, f"{app}@{args.tier}", f"{app}@{args.compare_tier}")
+            rendered.append(text)
+            print()
+            print(text)
+            if shape["max_divergence"] > args.shape_tolerance:
+                print(f"repro-clustering: shape divergence "
+                      f"{shape['max_divergence']:.3f} exceeds tolerance "
+                      f"{args.shape_tolerance:.3f}", file=sys.stderr)
+                status = 1
+        print()
+
+    if args.figure:
+        with open(args.figure, "w", encoding="utf-8") as fh:
+            fh.write("\n\n".join(rendered) + "\n")
+        print(f"figure written to {args.figure}")
+    if args.json:
+        import json as _json
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(studies, fh, indent=2, sort_keys=True)
+        print(f"study data written to {args.json}")
+    if result_cache is not None:
+        print(f"[result cache: {result_cache.stats()} — "
+              f"{result_cache.directory}]", file=sys.stderr)
+    if trace_cache.hits or trace_cache.misses:
+        print(f"[trace cache: {trace_cache.stats()}]", file=sys.stderr)
+    return status
+
+
 def cmd_merge(args: argparse.Namespace) -> int:
     study = _study(args.app, args)
     sweep = study.cluster_sweep(args.cache, args.cluster_sizes)
@@ -517,7 +597,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     from .core.bench import (bench_batch, bench_engine, bench_jobs,
                              bench_memory, bench_native, bench_sweep,
-                             check_floor, write_report)
+                             bench_trace, check_floor, write_report)
 
     _native_selection(args)  # validate the flag pair; exits 2 when forced
     # native but unbuildable, so the A/B below never starts half-broken
@@ -619,14 +699,40 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 1
 
+    trace = None
+    if args.trace:
+        from .core.scaling import scaling_problem
+        trace = bench_trace(args.trace_app, config,
+                            app_kwargs=scaling_problem(args.trace_app,
+                                                       args.trace_tier),
+                            include_native=args.native)
+        mb = trace.trace_nbytes / 1e6
+        print(f"\n# trace streaming A/B ({trace.app} {args.trace_tier} "
+              f"tier, {trace.source_ops:,} ops, {mb:.1f} MB blob, "
+              f"capture {trace.capture_s:.2f}s; fresh process per mode)")
+        print(f"  {'mode':>20} {'decode':>9} {'first point':>12} "
+              f"{'peak RSS':>10}")
+        for name, m in trace.modes.items():
+            print(f"  {name:>20} {m['decode_s']:>8.3f}s "
+                  f"{m['first_point_s']:>11.3f}s "
+                  f"{m['maxrss_kb'] / 1024:>7.0f} MB")
+        print(f"  first-point speedup {trace.first_point_speedup:.2f}x, "
+              f"peak-RSS ratio {trace.maxrss_ratio:.2f}x "
+              f"(materialized/mapped, python kernels)")
+        if not trace.identical:
+            print("ERROR: trace consumption modes produced different "
+                  "results", file=sys.stderr)
+            return 1
+
     write_report(args.output, rows, sweep, config, memory=memory, jobs=jobs,
-                 batch=batch, native=native)
+                 batch=batch, native=native, trace=trace)
     print(f"\nwrote {args.output}  [{time.time() - t0:.1f}s]")
 
     if args.floor:
         floor = json.loads(Path(args.floor).read_text(encoding="utf-8"))
         failures = check_floor(rows, floor, args.floor_tolerance,
-                               memory=memory, batch=batch, native=native)
+                               memory=memory, batch=batch, native=native,
+                               trace=trace)
         if failures:
             for line in failures:
                 print(f"FLOOR REGRESSION: {line}", file=sys.stderr)
@@ -638,6 +744,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if native is not None:
             measured |= {"native:points_per_s", "native:batch_speedup",
                          "native:warm_speedup"}
+        if trace is not None:
+            measured |= {"trace:first_point_speedup", "trace:maxrss_ratio"}
         covered = sorted(set(floor) & measured)
         print(f"floor check passed for {', '.join(covered) or 'no apps'} "
               f"(tolerance {args.floor_tolerance:.0%})")
@@ -773,6 +881,44 @@ def build_parser() -> argparse.ArgumentParser:
                     "(default 0,0.3,0.6,0.8; 0 is always included)")
     sp.set_defaults(func=cmd_network)
 
+    sp = add_command("scaling",
+                     help="§4 pushout study: processor-count scaling, "
+                     "clustered vs unclustered, with tier presets")
+    sp.add_argument("apps", nargs="*", choices=APP_NAMES, metavar="APP",
+                    default=["raytrace"],
+                    help="applications to study (default raytrace, the "
+                    "clearest quick-scale pushout)")
+    sp.add_argument("--tier", choices=("quick", "medium", "paper"),
+                    default="quick",
+                    help="problem-size tier: quick sanity sizes, medium "
+                    "CI smoke, or the paper's Table 2 sizes (default "
+                    "quick)")
+    sp.add_argument("--clusters", type=_positive_int, default=4,
+                    help="cluster size to compare against unclustered "
+                    "(default 4)")
+    sp.add_argument("--cache", type=_cache_arg, default=None,
+                    help="per-processor cache KB or 'inf' (default inf)")
+    sp.add_argument("--counts", type=_int_list, default=None,
+                    metavar="N,N,...",
+                    help="processor counts to sweep (default: the tier's "
+                    "preset grid)")
+    sp.add_argument("--threshold", type=_positive_float, default=1.15,
+                    metavar="RATIO",
+                    help="marginal speedup a doubling must deliver to "
+                    "count as effective (default 1.15)")
+    sp.add_argument("--compare-tier", choices=("quick", "medium", "paper"),
+                    default=None, metavar="TIER",
+                    help="also run TIER and compare speedup-curve shapes")
+    sp.add_argument("--shape-tolerance", type=_positive_float, default=0.25,
+                    metavar="FRAC",
+                    help="max normalised shape divergence allowed with "
+                    "--compare-tier before exiting 1 (default 0.25)")
+    sp.add_argument("--figure", metavar="PATH",
+                    help="write the rendered figures to PATH")
+    sp.add_argument("--json", metavar="PATH",
+                    help="write the study dicts as JSON to PATH")
+    sp.set_defaults(func=cmd_scaling)
+
     sp = add_command("merge", help="load-vs-merge anatomy per cluster size")
     sp.add_argument("app", choices=APP_NAMES)
     sp.add_argument("--cache", type=_cache_arg, default=None,
@@ -824,6 +970,18 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="N",
                     help="also time an N-worker sweep under the process "
                     "vs fork backends (pool startup included)")
+    sp.add_argument("--trace", action="store_true",
+                    help="also run the trace streaming A/B: materialized "
+                    "vs memory-mapped consumption of one paper-scale "
+                    "trace, fresh subprocess per mode (adds the native "
+                    "pair when --native is set)")
+    sp.add_argument("--trace-app", choices=APP_NAMES, default="lu",
+                    metavar="APP",
+                    help="application for the streaming A/B (default lu)")
+    sp.add_argument("--trace-tier", choices=("quick", "medium", "paper"),
+                    default="paper",
+                    help="problem tier for the streaming A/B trace "
+                    "(default paper — the workload the layer exists for)")
     sp.add_argument("--floor", metavar="JSON",
                     help="floor file mapping app -> min replay ops/s; "
                     "exit 1 on regression (see benchmarks/perf/floor.json)")

@@ -25,6 +25,13 @@ Four measurements, all written to ``BENCH_engine.json``:
   backend (fork-server mode: traces preloaded in the parent, inherited
   copy-on-write), pool startup included.  POSIX only; on platforms
   without ``fork`` the comparison is skipped.
+* **Trace streaming A/B** (:func:`bench_trace`) — decode latency,
+  first-point latency and peak RSS of one pre-captured paper-scale trace
+  consumed *materialized* (``REPRO_TRACE_MMAP=0``: full read + boxed
+  columns) vs *memory-mapped* (chunked streaming windows / zero-copy
+  native columns).  Each mode runs in a fresh subprocess because peak
+  RSS (``ru_maxrss``) is process-lifetime-maximal — two modes sharing a
+  process would see each other's high-water mark.
 
 Note the in-tree ``legacy`` mode still benefits from shared-path work
 (coherence inlining, scheduling-loop restructure), so replay/legacy
@@ -56,9 +63,9 @@ from .executor import PointSpec, evaluate_point
 
 __all__ = ["AppBenchResult", "SweepBenchResult", "MemoryBenchResult",
            "JobsBenchResult", "BatchBenchResult", "NativeBenchResult",
-           "bench_engine", "bench_sweep", "bench_memory", "bench_jobs",
-           "bench_batch", "bench_native", "check_floor", "write_report",
-           "SCHEMA_VERSION"]
+           "TraceBenchResult", "bench_engine", "bench_sweep", "bench_memory",
+           "bench_jobs", "bench_batch", "bench_native", "bench_trace",
+           "check_floor", "write_report", "SCHEMA_VERSION"]
 
 SCHEMA_VERSION = 1
 
@@ -703,6 +710,199 @@ def bench_native(apps: Sequence[str], config: MachineConfig,
     )
 
 
+@dataclass
+class TraceBenchResult:
+    """Subprocess A/B: materialized vs memory-mapped trace consumption.
+
+    One paper-scale trace is captured to a disk store once, then each
+    *mode* — ``materialized-python``, ``mapped-python`` and (when the C
+    kernel is available) ``materialized-native``, ``mapped-native`` —
+    replays it in a **fresh child process** with the matching
+    ``REPRO_TRACE_MMAP`` / ``REPRO_NATIVE`` environment.  Per mode:
+
+    * ``decode_s`` — loading the blob into a usable program (full read +
+      column copy when materialized; header validation + ``mmap`` setup
+      when mapped, pages faulting in lazily later);
+    * ``first_point_s`` — cold-LRU ``evaluate_point`` end to end, the
+      latency from disk-resident trace to first sweep result;
+    * ``maxrss_kb`` — the child's ``ru_maxrss`` at exit.
+
+    ``first_point_speedup`` and ``maxrss_ratio`` compare the python pair
+    (materialized / mapped; both >1 means mapping wins) and back the
+    ``trace:*`` keys of :func:`check_floor`.
+    """
+
+    app: str
+    n_processors: int
+    cluster_size: int
+    cache_kb: float | None
+    app_kwargs: dict[str, Any]
+    trace_nbytes: int
+    source_ops: int
+    capture_s: float
+    #: mode name -> {"decode_s", "first_point_s", "maxrss_kb"}
+    modes: dict[str, dict[str, float]]
+    identical: bool = True
+
+    @property
+    def first_point_speedup(self) -> float:
+        """Materialized / mapped first-point latency (python kernels)."""
+        mat = self.modes.get("materialized-python", {}).get("first_point_s")
+        mapped = self.modes.get("mapped-python", {}).get("first_point_s")
+        return mat / mapped if mat and mapped else 0.0
+
+    @property
+    def maxrss_ratio(self) -> float:
+        """Materialized / mapped peak RSS (python kernels)."""
+        mat = self.modes.get("materialized-python", {}).get("maxrss_kb")
+        mapped = self.modes.get("mapped-python", {}).get("maxrss_kb")
+        return mat / mapped if mat and mapped else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        out = asdict(self)
+        out.update(first_point_speedup=round(self.first_point_speedup, 3),
+                   maxrss_ratio=round(self.maxrss_ratio, 3))
+        return out
+
+
+def _trace_child(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """One :func:`bench_trace` measurement, inside a fresh process.
+
+    ``mode == "capture"`` evaluates the point cold so the trace lands in
+    the disk store; every other mode measures the pre-captured blob under
+    whatever ``REPRO_TRACE_MMAP`` / ``REPRO_NATIVE`` environment the
+    parent installed before spawning this child.
+    """
+    import resource
+
+    from ..sim.compiled import TraceCache, clear_memory_cache
+    from .resultcache import TraceStore
+
+    spec = PointSpec.make(payload["app"], payload["cluster_size"],
+                          payload["cache_kb"], dict(payload["kwargs"]))
+    config = MachineConfig(n_processors=payload["n_processors"])
+    store = TraceStore(payload["store_dir"])
+    out: dict[str, Any] = {}
+
+    if payload["mode"] == "capture":
+        t0 = time.perf_counter()
+        result = evaluate_point(spec, config, trace_cache=TraceCache(store))
+        out["capture_s"] = time.perf_counter() - t0
+    else:
+        # the blob's filename stem is its trace key (TraceStore layout)
+        key = Path(payload["blob"]).stem
+        cache = TraceCache(store)
+        t0 = time.perf_counter()
+        program = cache.preload(key)
+        out["decode_s"] = time.perf_counter() - t0
+        if program is None:
+            raise RuntimeError(f"trace {key} vanished from {store.directory}")
+        clear_memory_cache()  # first_point_s must pay the decode again
+        t0 = time.perf_counter()
+        result = evaluate_point(spec, config, trace_cache=TraceCache(store))
+        out["first_point_s"] = time.perf_counter() - t0
+    out["result"] = result.to_json()
+    out["maxrss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return out
+
+
+def _spawn_trace_child(payload: Mapping[str, Any],
+                       env_overrides: Mapping[str, str]) -> dict[str, Any]:
+    """Run :func:`_trace_child` in a subprocess and parse its JSON reply."""
+    import subprocess
+    import sys
+
+    env = os.environ.copy()
+    src_root = str(Path(__file__).resolve().parents[2])
+    prior = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (src_root if not prior
+                         else src_root + os.pathsep + prior)
+    env.update(env_overrides)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.core.bench", "--trace-child",
+         json.dumps(dict(payload))],
+        capture_output=True, text=True, env=env)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"bench_trace child {payload.get('mode')} failed "
+            f"(exit {proc.returncode}):\n{proc.stderr.strip()}")
+    return json.loads(proc.stdout)
+
+
+def bench_trace(app: str = "lu", config: MachineConfig | None = None,
+                cluster_size: int = 4, cache_kb: float | None = 4.0,
+                app_kwargs: Mapping[str, Any] | None = None,
+                include_native: bool = False) -> TraceBenchResult:
+    """Measure materialized vs memory-mapped consumption of one trace.
+
+    Defaults to the paper-scale LU decomposition (512×512, the streaming
+    layer's motivating workload); pass ``app_kwargs`` to rescale for CI.
+    A capture child first persists the trace, then one child per mode
+    measures decode latency, cold first-point latency, and peak RSS —
+    every child re-reads the same blob, so the A/B isolates the
+    consumption path.  ``include_native`` adds the C-kernel pair (the
+    caller gates on kernel availability).
+    """
+    import tempfile
+
+    from ..apps.registry import PAPER_PROBLEM_SIZES
+    from ..sim.compiled import CompiledProgram
+
+    if config is None:
+        config = MachineConfig(n_processors=64)
+    kwargs = dict(app_kwargs if app_kwargs is not None
+                  else PAPER_PROBLEM_SIZES.get(app, {}))
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-trace-") as tmp:
+        payload = {"app": app, "cluster_size": cluster_size,
+                   "cache_kb": cache_kb, "kwargs": kwargs,
+                   "n_processors": config.n_processors, "store_dir": tmp,
+                   "mode": "capture"}
+        captured = _spawn_trace_child(
+            payload, {"REPRO_TRACE_MMAP": "1", "REPRO_NATIVE": "0"})
+        reference = captured["result"]
+
+        blobs = sorted(Path(tmp, "traces").glob("*.trace"))
+        if len(blobs) != 1:
+            raise RuntimeError(
+                f"expected exactly one captured trace, found {len(blobs)}")
+        blob = blobs[0]
+        header_probe = CompiledProgram.from_file(blob)
+
+        mode_envs = [
+            ("materialized-python", {"REPRO_TRACE_MMAP": "0",
+                                     "REPRO_NATIVE": "0"}),
+            ("mapped-python", {"REPRO_TRACE_MMAP": "1",
+                               "REPRO_NATIVE": "0"}),
+        ]
+        if include_native:
+            mode_envs += [
+                ("materialized-native", {"REPRO_TRACE_MMAP": "0",
+                                         "REPRO_NATIVE": "1"}),
+                ("mapped-native", {"REPRO_TRACE_MMAP": "1",
+                                   "REPRO_NATIVE": "1"}),
+            ]
+
+        payload["mode"] = "measure"
+        payload["blob"] = str(blob)
+        modes: dict[str, dict[str, float]] = {}
+        identical = True
+        for name, overrides in mode_envs:
+            reply = _spawn_trace_child(payload, overrides)
+            identical = identical and reply["result"] == reference
+            modes[name] = {"decode_s": reply["decode_s"],
+                           "first_point_s": reply["first_point_s"],
+                           "maxrss_kb": reply["maxrss_kb"]}
+        trace_nbytes = blob.stat().st_size
+
+    return TraceBenchResult(
+        app=app, n_processors=config.n_processors,
+        cluster_size=cluster_size, cache_kb=cache_kb, app_kwargs=kwargs,
+        trace_nbytes=trace_nbytes, source_ops=header_probe.source_ops,
+        capture_s=captured["capture_s"], modes=modes, identical=identical,
+    )
+
+
 def write_report(path: str | Path,
                  engine: Sequence[AppBenchResult],
                  sweep: SweepBenchResult | None = None,
@@ -711,7 +911,8 @@ def write_report(path: str | Path,
                  memory: Sequence[MemoryBenchResult] | None = None,
                  jobs: JobsBenchResult | None = None,
                  batch: BatchBenchResult | None = None,
-                 native: NativeBenchResult | None = None) -> dict[str, Any]:
+                 native: NativeBenchResult | None = None,
+                 trace: TraceBenchResult | None = None) -> dict[str, Any]:
     """Assemble and write ``BENCH_engine.json``; returns the payload."""
     payload: dict[str, Any] = {
         "schema": SCHEMA_VERSION,
@@ -730,6 +931,8 @@ def write_report(path: str | Path,
         payload["batch"] = batch.to_dict()
     if native is not None:
         payload["native"] = native.to_dict()
+    if trace is not None:
+        payload["trace"] = trace.to_dict()
     if extra:
         payload.update(extra)
     path = Path(path)
@@ -745,6 +948,7 @@ def check_floor(engine: Sequence[AppBenchResult],
                 memory: Sequence[MemoryBenchResult] | None = None,
                 batch: BatchBenchResult | None = None,
                 native: NativeBenchResult | None = None,
+                trace: TraceBenchResult | None = None,
                 ) -> list[str]:
     """Compare measured throughput against a checked-in floor.
 
@@ -754,7 +958,10 @@ def check_floor(engine: Sequence[AppBenchResult],
     ``"batch:speedup"`` floor the :func:`bench_batch` A/B, and
     ``"native:points_per_s"`` / ``"native:batch_speedup"`` /
     ``"native:warm_speedup"`` floor the :func:`bench_native` kernel
-    A/B.  A measurement
+    A/B, and ``"trace:first_point_speedup"`` / ``"trace:maxrss_ratio"``
+    floor the :func:`bench_trace` streaming A/B (both are
+    materialized/mapped ratios — higher means mapping wins more).  A
+    measurement
     below ``floor * (1 - tolerance)`` is a regression.  Returns
     human-readable failure lines (empty = all good).  Entries absent from
     the floor are ignored, so the floor file can cover a subset.
@@ -783,6 +990,14 @@ def check_floor(engine: Sequence[AppBenchResult],
             ("native:warm_speedup", "native-vs-python warm speedup",
              native.warm_speedup, "x"),
         ]
+    if trace is not None:
+        measured += [
+            ("trace:first_point_speedup",
+             "mapped-vs-materialized first-point speedup",
+             trace.first_point_speedup, "x"),
+            ("trace:maxrss_ratio", "materialized-vs-mapped peak-RSS ratio",
+             trace.maxrss_ratio, "x"),
+        ]
     for name, what, got, unit in measured:
         want = floor.get(name)
         if want is None:
@@ -798,3 +1013,13 @@ def check_floor(engine: Sequence[AppBenchResult],
                     f"{name}: {what} {got:,.0f} {unit} is below "
                     f"floor {want:,.0f} - {tolerance:.0%} = {limit:,.0f}")
     return failures
+
+
+if __name__ == "__main__":  # pragma: no cover - bench_trace child entry
+    import sys
+
+    if len(sys.argv) == 3 and sys.argv[1] == "--trace-child":
+        print(json.dumps(_trace_child(json.loads(sys.argv[2]))))
+        raise SystemExit(0)
+    raise SystemExit("repro.core.bench is not a standalone CLI; "
+                     "use `repro-clustering bench`")

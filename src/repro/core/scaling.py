@@ -16,18 +16,100 @@ processor count with and without clustering and compare
 
 If the paper's claim holds, the clustered machine's speedup curve rolls
 over later — its effective processor count is ≥ the unclustered one.
+
+Every point runs through the canonical
+:class:`~repro.runtime.session.RunSession` pipeline, so scaling curves get
+compiled-trace replay, the shared trace cache (one capture per processor
+count serves the clustered *and* unclustered curve of a stream-invariant
+app), memory-mapped paper-scale traces, the native C kernel when selected,
+and optional :class:`~repro.core.resultcache.ResultCache` memoization —
+exactly like every other entry layer.
+
+:func:`scaling_study` packages the sweep into the repo's three problem
+**tiers** — ``quick`` (CI-speed), ``medium`` (CI-runnable smoke at
+intermediate sizes), ``paper`` (the paper's Table 2 sizes, which the
+streaming-trace layer makes tractable) — with per-tier processor-count
+presets for all nine applications, and :func:`compare_shapes` quantifies
+how well a cheap tier's speedup-curve *shape* tracks an expensive one's
+(the CI proxy for "the quick study predicts the paper-scale study").
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
-from ..apps.registry import build_app
+from ..apps.registry import (APP_NAMES, PAPER_PROBLEM_SIZES,
+                             QUICK_PROBLEM_SIZES)
+from ..runtime.plan import RunRequest
+from ..runtime.session import RunSession
 from .config import MachineConfig
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.compiled import TraceCache
+    from .resultcache import ResultCache
+
 __all__ = ["ScalingPoint", "ScalingCurve", "scaling_curve",
-           "effective_processors", "pushout"]
+           "effective_processors", "pushout", "scaling_study",
+           "compare_shapes", "scaling_problem", "scaling_processor_counts",
+           "MEDIUM_PROBLEM_SIZES", "SCALING_TIERS"]
+
+#: the default application seed (kept out of request kwargs so scaling
+#: points share trace/result-cache keys with identically-specified sweeps)
+_DEFAULT_SEED = 12345
+
+#: intermediate problem sizes for the CI-runnable ``medium`` tier —
+#: between the quick sanity sizes and the paper's Table 2 sizes, chosen
+#: so a full scaling sweep of one app stays in tens of seconds
+MEDIUM_PROBLEM_SIZES: dict[str, dict[str, Any]] = {
+    "barnes": {"n_particles": 2048, "n_steps": 1},
+    "fft": {"n_points": 32768},
+    "fmm": {"n_particles": 2048, "levels": 4, "n_steps": 1},
+    "lu": {"n": 256, "block": 16},
+    "mp3d": {"n_particles": 20000, "n_steps": 2},
+    "ocean": {"n": 128, "n_vcycles": 1},
+    "radix": {"n_keys": 131072, "radix": 256},
+    "raytrace": {"width": 48, "height": 48, "n_spheres": 48},
+    "volrend": {"volume_side": 64, "width": 48, "height": 48},
+}
+
+#: recognised study tiers, cheapest first
+SCALING_TIERS = ("quick", "medium", "paper")
+
+_TIER_PROBLEMS: dict[str, dict[str, dict[str, Any]]] = {
+    "quick": QUICK_PROBLEM_SIZES,
+    "medium": MEDIUM_PROBLEM_SIZES,
+    "paper": PAPER_PROBLEM_SIZES,
+}
+
+# Processor-count grids per tier.  Every entry is divisible by the paper
+# cluster sizes (2, 4, 8) so one grid serves any clustered/unclustered
+# comparison; larger problems keep scaling further, so richer tiers sweep
+# higher before the curve rolls over.
+_TIER_COUNTS: dict[str, tuple[int, ...]] = {
+    "quick": (8, 16, 32, 64),
+    "medium": (8, 16, 32, 64),
+    "paper": (8, 16, 32, 64, 128),
+}
+
+
+def scaling_problem(app: str, tier: str = "quick") -> dict[str, Any]:
+    """Problem kwargs for ``app`` at ``tier`` (copy; safe to mutate)."""
+    if tier not in _TIER_PROBLEMS:
+        raise ValueError(f"unknown scaling tier {tier!r}; "
+                         f"expected one of {SCALING_TIERS}")
+    if app not in APP_NAMES:
+        raise ValueError(f"unknown application {app!r}")
+    return dict(_TIER_PROBLEMS[tier].get(app, {}))
+
+
+def scaling_processor_counts(tier: str = "quick") -> tuple[int, ...]:
+    """The preset processor-count grid for ``tier``."""
+    try:
+        return _TIER_COUNTS[tier]
+    except KeyError:
+        raise ValueError(f"unknown scaling tier {tier!r}; "
+                         f"expected one of {SCALING_TIERS}") from None
 
 
 @dataclass(frozen=True)
@@ -59,27 +141,57 @@ class ScalingCurve:
                 for p in sorted(self.points, key=lambda p: p.n_processors)}
 
 
+def _run_point(request: RunRequest, n_processors: int,
+               trace_cache: "TraceCache | None",
+               result_cache: "ResultCache | None") -> int:
+    """One scaling point through the canonical pipeline; returns T(P)."""
+    session = RunSession(base_config=MachineConfig(n_processors=n_processors),
+                         trace_cache=trace_cache)
+    plan = session.resolve(request)
+    key = None
+    if result_cache is not None:
+        key = result_cache.key(request.app, request.kwargs, plan.config)
+        cached = result_cache.get(key)
+        if cached is not None:
+            return cached.execution_time
+    result = session.run_plan(plan).result
+    if result_cache is not None:
+        result_cache.put(key, result)
+    return result.execution_time
+
+
 def scaling_curve(app: str, processor_counts: Sequence[int],
                   cluster_size: int = 1,
                   cache_kb: float | None = None,
                   app_kwargs: dict[str, Any] | None = None,
-                  seed: int = 12345) -> ScalingCurve:
+                  seed: int = 12345, *,
+                  trace_cache: "TraceCache | None" = None,
+                  result_cache: "ResultCache | None" = None) -> ScalingCurve:
     """Measure T(P) for a fixed problem at one cluster size.
 
     ``cluster_size`` must divide every entry of ``processor_counts``.
-    The same seed builds the identical problem at every point.
+    The same seed builds the identical problem at every point.  Points
+    run through :class:`~repro.runtime.session.RunSession`; pass a
+    ``trace_cache`` to share compiled streams with other curves of the
+    same study (a stream-invariant app captures once per processor count
+    and replays at every cluster size) and a ``result_cache`` to memoize
+    finished points across invocations.
     """
+    kwargs = dict(app_kwargs or {})
+    if seed != _DEFAULT_SEED:
+        kwargs["seed"] = seed
+    if trace_cache is None:
+        from ..sim.compiled import TraceCache
+        trace_cache = TraceCache()
+    request = RunRequest.make(app, cluster_size, cache_kb, kwargs)
     curve = ScalingCurve(app, cluster_size)
     for n in processor_counts:
         if n % cluster_size:
             raise ValueError(
                 f"cluster size {cluster_size} does not divide P={n}")
-        config = MachineConfig(n_processors=n, cluster_size=cluster_size,
-                               cache_kb_per_processor=cache_kb)
-        application = build_app(app, config, seed=seed,
-                                **dict(app_kwargs or {}))
         curve.points.append(
-            ScalingPoint(n, application.run().execution_time))
+            ScalingPoint(n, _run_point(request, n, trace_cache,
+                                       result_cache)))
     return curve
 
 
@@ -106,22 +218,85 @@ def effective_processors(curve: ScalingCurve,
 def pushout(app: str, processor_counts: Sequence[int], cluster_size: int,
             cache_kb: float | None = None,
             app_kwargs: dict[str, Any] | None = None,
-            marginal_threshold: float = 1.15,
+            marginal_threshold: float = 1.15, *,
+            trace_cache: "TraceCache | None" = None,
+            result_cache: "ResultCache | None" = None,
             ) -> dict[str, Any]:
     """The §4 claim, quantified: unclustered vs clustered scaling.
 
-    Returns both curves' speedups and effective processor counts.
+    Returns both curves' speedups and effective processor counts.  The
+    two curves share one trace cache, so each processor count of a
+    stream-invariant app is captured once and replayed clustered.
     """
-    flat = scaling_curve(app, processor_counts, 1, cache_kb, app_kwargs)
+    if trace_cache is None:
+        from ..sim.compiled import TraceCache
+        trace_cache = TraceCache()
+    flat = scaling_curve(app, processor_counts, 1, cache_kb, app_kwargs,
+                         trace_cache=trace_cache, result_cache=result_cache)
     clustered = scaling_curve(app, processor_counts, cluster_size,
-                              cache_kb, app_kwargs)
+                              cache_kb, app_kwargs,
+                              trace_cache=trace_cache,
+                              result_cache=result_cache)
     return {
         "app": app,
         "cluster_size": cluster_size,
+        "processor_counts": sorted(processor_counts),
         "speedups_unclustered": flat.speedups(),
         "speedups_clustered": clustered.speedups(),
         "effective_unclustered": effective_processors(flat,
                                                       marginal_threshold),
         "effective_clustered": effective_processors(clustered,
                                                     marginal_threshold),
+    }
+
+
+def scaling_study(app: str, tier: str = "quick", cluster_size: int = 4,
+                  cache_kb: float | None = None,
+                  processor_counts: Sequence[int] | None = None,
+                  marginal_threshold: float = 1.15, *,
+                  trace_cache: "TraceCache | None" = None,
+                  result_cache: "ResultCache | None" = None,
+                  ) -> dict[str, Any]:
+    """The full §4 pushout study for one app at one problem tier.
+
+    A :func:`pushout` run at the tier's preset problem size and
+    processor-count grid, annotated with the tier metadata the CLI and
+    figure layer report.  ``processor_counts`` overrides the preset grid.
+    """
+    counts = tuple(processor_counts) if processor_counts \
+        else scaling_processor_counts(tier)
+    problem = scaling_problem(app, tier)
+    study = pushout(app, counts, cluster_size, cache_kb, problem,
+                    marginal_threshold, trace_cache=trace_cache,
+                    result_cache=result_cache)
+    study["tier"] = tier
+    study["problem"] = problem
+    study["cache_kb"] = cache_kb
+    study["marginal_threshold"] = marginal_threshold
+    return study
+
+
+def compare_shapes(speedups_a: Mapping[int, float],
+                   speedups_b: Mapping[int, float]) -> dict[str, Any]:
+    """How closely two speedup curves agree in *shape*.
+
+    Each curve is normalised to its own peak speedup over the common
+    processor counts, removing the magnitude difference between problem
+    sizes; ``max_divergence`` is the largest pointwise gap between the
+    normalised curves (0 = identical shape, 1 = maximally different).
+    The CI smoke asserts a quick-tier curve stays within a tolerance of
+    the richer tier's shape.
+    """
+    common = sorted(set(speedups_a) & set(speedups_b))
+    if not common:
+        raise ValueError("speedup curves share no processor counts")
+    peak_a = max(speedups_a[p] for p in common)
+    peak_b = max(speedups_b[p] for p in common)
+    norm_a = {p: speedups_a[p] / peak_a for p in common}
+    norm_b = {p: speedups_b[p] / peak_b for p in common}
+    return {
+        "processor_counts": common,
+        "normalised_a": norm_a,
+        "normalised_b": norm_b,
+        "max_divergence": max(abs(norm_a[p] - norm_b[p]) for p in common),
     }

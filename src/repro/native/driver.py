@@ -53,6 +53,26 @@ class NativeDeadlock(Exception):
         self.locks = locks
 
 
+def _column_pointer(col, ptype):
+    """``int64*`` over a program column without copying its payload.
+
+    ``array('q')`` columns expose their buffer address directly; mapped
+    programs carry ``memoryview`` slices over a copy-on-write file
+    mapping, which ``ctypes.from_buffer`` turns into the same flat
+    pointer — the kernel then reads the page cache in place (the mapping
+    is ``ACCESS_COPY``, so the writability ``from_buffer`` demands never
+    reaches the file; the kernel itself treats the columns as ``const``).
+    An empty column has no buffer to take an address of — the kernel
+    never dereferences a processor whose length is 0, so NULL is exact.
+    """
+    if len(col) == 0:
+        return ctypes.cast(None, ptype)
+    if hasattr(col, "buffer_info"):  # array('q')
+        return ctypes.cast(col.buffer_info()[0], ptype)
+    return ctypes.cast(ctypes.addressof(ctypes.c_char.from_buffer(col)),
+                       ptype)
+
+
 def run_native(lib, config: "MachineConfig", memory: "CoherentMemorySystem",
                program) -> tuple[int, list[TimeBreakdown]]:
     """Replay ``program`` on ``memory`` natively; return (time, breakdowns).
@@ -67,13 +87,12 @@ def run_native(lib, config: "MachineConfig", memory: "CoherentMemorySystem",
     c64 = ctypes.c_int64
     P = ctypes.POINTER(c64)
 
-    # zero-copy column views; keep the arrays referenced for the call
+    # zero-copy column views; keep the arrays (or the mmap behind a
+    # mapped program's memoryviews) referenced for the call
     ops_cols = program.ops
     args_cols = program.args
-    ops_arr = (P * n)(*[ctypes.cast(c.buffer_info()[0], P)
-                        for c in ops_cols])
-    args_arr = (P * n)(*[ctypes.cast(c.buffer_info()[0], P)
-                         for c in args_cols])
+    ops_arr = (P * n)(*[_column_pointer(c, P) for c in ops_cols])
+    args_arr = (P * n)(*[_column_pointer(c, P) for c in args_cols])
     lens = (c64 * n)(*[len(c) for c in ops_cols])
 
     alloc = memory.allocator

@@ -726,6 +726,15 @@ EXPORT int64_t repro_abi(void) { return ABI; }
 
 EXPORT void repro_release(int64_t *blob) { free(blob); }
 
+/* Zero-copy column contract: ops[p]/args[p] may point straight into a
+ * read-mostly file mapping of a v2 trace blob (driver.py hands over the
+ * mmap'd addresses; 8-byte aligned, little-endian int64, lens[p] entries).
+ * The kernel must only ever READ them — a store would dirty private
+ * copy-on-write pages and forfeit the shared-page-cache economics the
+ * streaming-trace layer is built on — and must tolerate ops[p] == NULL
+ * when lens[p] == 0 (an empty column has no buffer to address).  Access
+ * is sequential per processor, which the mapping layer advertises to the
+ * OS via MADV_SEQUENTIAL. */
 EXPORT int64_t repro_replay(
     int64_t n, int64_t ncl, int64_t csize,
     const int64_t **ops, const int64_t **args, const int64_t *lens,

@@ -154,7 +154,8 @@ class RunSession:
         if program is not None:
             if obs is not None:
                 obs.on_phase("trace-hit", clock.lap(),
-                             {"ops": program.total_ops})
+                             {"ops": program.total_ops,
+                              "mapped": program.mapped})
             result = self._replay(plan, app, program)
             outcome = RunOutcome(plan, result, app, program=program,
                                  from_cache=True)

@@ -83,6 +83,21 @@ def _native_status() -> dict[str, Any]:
     return native.status()
 
 
+def _trace_cache_status() -> dict[str, Any]:
+    """The process-wide trace-LRU accounting for ``/stats``.
+
+    Byte-budget occupancy of the in-memory compiled-trace tier
+    (:func:`repro.sim.compiled.trace_cache_info`): live entries, how many
+    are memory-mapped (charged ≈ 0 resident bytes), resident vs payload
+    bytes, and the configured budget — the numbers an operator needs to
+    tell "the daemon is holding traces" from "the traces are mapped and
+    the page cache is holding them".
+    """
+    from ..sim.compiled import trace_cache_info
+
+    return trace_cache_info()
+
+
 class PointExecutionError(RuntimeError):
     """A point failed to execute; carries the client-safe summary.
 
@@ -319,6 +334,7 @@ class SweepService:
                 **self.executor.batch_stats.to_dict(),
             },
             "native": _native_status(),
+            "trace_cache": _trace_cache_status(),
             "pool": {
                 "backend": self.executor.backend,
                 "max_workers": self.executor.max_workers,

@@ -163,6 +163,10 @@ def prepare_columns(program: "CompiledProgram",
     """
     rt = program._runtime
     if rt is None:
+        if program.mapped:
+            # mapped programs keep their bounded chunked-window views —
+            # materialising boxed lists here would defeat streaming
+            return program.runtime_columns()
         fast = HAVE_NUMPY if use_numpy is None else use_numpy
         rt = columns_numpy(program) if fast else columns_python(program)
         program._runtime = rt

@@ -633,10 +633,15 @@ def replay_fused(config: "MachineConfig", memory: CoherentMemorySystem,
 class BatchedReplay:
     """Replay one compiled trace across N memory-system configurations.
 
-    Construction pays the single column decode (:func:`prepare_batch`,
-    numpy-accelerated when available); each :meth:`run` then advances one
-    configuration over the shared columns — with the native C kernel
-    when it is selected and the point qualifies
+    The single column decode (:func:`prepare_batch`, numpy-accelerated
+    when available) is paid **lazily**, on the first point the pure-python
+    fused kernel actually serves: when the native C kernel handles every
+    point of a group — the common case with ``--native`` — the packed
+    instruction streams are never built at all, which matters for mapped
+    paper-scale traces (the native kernel reads the file mapping in
+    place; packing would materialise the whole trace as boxed ints).
+    Each :meth:`run` advances one configuration over the shared columns —
+    with the native kernel when it is selected and the point qualifies
     (:func:`~repro.sim.nativereplay.native_fusible`), the pure-python
     fused kernel when the memory system qualifies, and the canonical
     ``execute_program`` replay otherwise.  All three are byte-identical;
@@ -644,16 +649,16 @@ class BatchedReplay:
     which kernel served each point for the batch counters.
     """
 
-    __slots__ = ("program", "points_native", "points_fused",
+    __slots__ = ("program", "use_numpy", "points_native", "points_fused",
                  "points_fallback")
 
     def __init__(self, program: "CompiledProgram",
                  use_numpy: bool | None = None) -> None:
         self.program = program
+        self.use_numpy = use_numpy
         self.points_native = 0
         self.points_fused = 0
         self.points_fallback = 0
-        prepare_batch(program, use_numpy=use_numpy)
 
     def run(self, config: "MachineConfig", memory) -> RunResult:
         """Advance one configuration; exact regardless of the path taken."""
@@ -663,6 +668,7 @@ class BatchedReplay:
                 self.points_native += 1
                 return replay_native(config, memory, self.program, lib=lib)
             self.points_fused += 1
+            prepare_batch(self.program, use_numpy=self.use_numpy)
             return replay_fused(config, memory, self.program)
         self.points_fallback += 1
         return execute_program(config, memory, self.program, compiled=True)

@@ -29,17 +29,44 @@ This module provides that capture/replay layer:
   app once per process and ``--jobs`` worker processes share traces via
   disk.
 
+**Streaming traces.**  Two wire formats coexist.  The legacy ``RPROTRC1``
+encoding (zlib-compressed, CRC-protected) remains readable for migration.
+The current ``RPROTRC2`` encoding is *mmappable*: an aligned, uncompressed
+little-endian int64 section per column behind a JSON header/TOC, so
+:meth:`CompiledProgram.from_file` can map a
+:class:`~repro.core.resultcache.TraceStore` blob copy-on-write
+(``mmap.ACCESS_COPY``) and expose the columns as zero-copy ``memoryview``
+slices over the page cache.  A mapped program costs ~0 resident bytes
+until touched, its pages are shared between every process mapping the
+same blob (fork-server workers, the sweep daemon, parallel CLI runs), and
+the native kernel (:mod:`repro.native`) replays it by passing the mapped
+column addresses straight into C — no decode, no packing copy.  The pure
+python replay loop reads mapped programs through a chunked window
+(:class:`_ChunkedColumn`) so it never holds more than a few thousand
+boxed ints per column; paper-scale traces (512² LU ≈ 45 MB) stream
+through a bounded footprint instead of materialising everywhere.
+
+The in-memory LRU is governed by a **byte budget**
+(``REPRO_TRACE_LRU_BYTES``, default 256 MiB) that charges mapped programs
+a token constant — so any number of paper-scale mapped traces stay
+resident while materialised ones are evicted by size.  The historical
+entry-count knob (``REPRO_TRACE_LRU``) is still honoured when set, as a
+deprecated alias.  ``REPRO_TRACE_MMAP=0`` disables mapping (every disk
+load decodes eagerly to arrays).
+
 Replay is **bit-identical** to generator execution: the engine's golden
 and equivalence suites (``tests/test_golden_regression.py``,
-``tests/test_compiled.py``) compare canonical ``RunResult`` JSON
-byte-for-byte.  A corrupted or stale disk trace is never fatal — it decodes
-to a miss (with a warning) and the program is regenerated.
+``tests/test_compiled.py``, ``tests/test_tracestream.py``) compare
+canonical ``RunResult`` JSON byte-for-byte.  A corrupted or stale disk
+trace is never fatal — it decodes to a miss (with a warning) and the
+program is regenerated.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import mmap
 import os
 import sys
 import warnings
@@ -54,46 +81,130 @@ from .program import (OP_BARRIER, OP_READ, OP_UNLOCK, OP_WORK, OP_WRITE,
 
 __all__ = ["CompiledProgram", "TraceCache", "TraceDecodeError",
            "compile_program", "trace_key", "clear_memory_cache",
-           "memory_cache_len", "ENV_TRACE_LRU"]
+           "memory_cache_len", "memory_cache_bytes", "trace_cache_info",
+           "ENV_TRACE_LRU", "ENV_TRACE_LRU_BYTES", "ENV_TRACE_MMAP"]
 
-#: environment variable overriding the in-memory LRU capacity (entries)
+#: deprecated alias: entry-count cap on the in-memory LRU (honoured when
+#: set; the byte budget below is the primary knob)
 ENV_TRACE_LRU = "REPRO_TRACE_LRU"
 
-# Default sized to hold a full 9-app sweep: 6 stream-invariant traces (one
-# per app, shared across cluster sizes) plus one trace per (dynamic app,
-# config) pair — a 4-cluster-size grid needs 6 + 3*4 = 18.  Quick-scale
-# traces are a few MB each, so 32 stays far below typical memory budgets;
-# REPRO_TRACE_LRU overrides for paper-scale runs.
-_DEFAULT_LRU_ENTRIES = 32
+#: environment variable overriding the in-memory LRU byte budget
+ENV_TRACE_LRU_BYTES = "REPRO_TRACE_LRU_BYTES"
 
-#: serialization magic: bump the trailing digits on any format change so
+#: set to ``0`` to disable memory-mapped trace loads (eager array decode)
+ENV_TRACE_MMAP = "REPRO_TRACE_MMAP"
+
+# Sized so a full 9-app quick sweep (a few MB per materialised trace)
+# never evicts, while a single paper-scale materialised trace (512² LU is
+# ~45 MB of columns) still fits several times over.  Mapped traces are
+# charged _MAPPED_RESIDENT_BYTES each, so at paper scale the budget is
+# effectively an entry bound of ~64k mapped traces — i.e. unlimited.
+_DEFAULT_LRU_BYTES = 256 * 1024 * 1024
+
+#: accounting charge for a mapped program: its python-side footprint is a
+#: handful of memoryview objects plus one chunked-window cache; the column
+#: payload lives in the (evictable, shared) page cache, not the heap
+_MAPPED_RESIDENT_BYTES = 4096
+
+#: serialization magics: bump the trailing digit on any format change so
 #: stale cache entries from older versions decode as misses, not garbage
-_MAGIC = b"RPROTRC1"
+_MAGIC_V1 = b"RPROTRC1"
+_MAGIC = b"RPROTRC2"
+
+_ITEMSIZE = 8  # int64 columns, both formats
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
 
 
 class TraceDecodeError(ValueError):
     """A serialized compiled trace is corrupt, truncated, or incompatible."""
 
 
+class _ChunkedColumn:
+    """A lazy plain-int window over one mapped int64 column.
+
+    The per-point replay loop indexes each processor's column with a
+    monotonically non-decreasing cursor and calls ``len()`` once — nothing
+    else — so a single cached chunk of boxed ints per column is enough to
+    serve it.  Out-of-window accesses re-box the surrounding aligned chunk
+    (``tolist`` on a memoryview slice, one C pass), keeping the python
+    replay of a mapped program at a bounded footprint:
+    ``2 columns × n_processors × _CHUNK`` boxed ints, independent of trace
+    size.
+    """
+
+    __slots__ = ("_mv", "_n", "_chunk", "_base")
+
+    #: window size in entries; 4096 keeps a 64-processor replay under
+    #: ~0.5M resident boxed ints while re-boxing rarely enough to stay
+    #: within a few percent of full-list replay throughput
+    _CHUNK = 4096
+
+    def __init__(self, mv: memoryview) -> None:
+        self._mv = mv
+        self._n = len(mv)
+        self._chunk: list[int] = []
+        self._base = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, i: int) -> int:
+        off = i - self._base
+        chunk = self._chunk
+        if 0 <= off < len(chunk):
+            return chunk[off]
+        if not 0 <= i < self._n:
+            raise IndexError("column index out of range")
+        base = i - (i % self._CHUNK)
+        self._base = base
+        chunk = self._chunk = self._mv[base:base + self._CHUNK].tolist()
+        return chunk[i - base]
+
+    def __iter__(self):
+        mv = self._mv
+        step = self._CHUNK
+        for base in range(0, self._n, step):
+            yield from mv[base:base + step].tolist()
+
+
+def _le_bytes(col) -> bytes:
+    """Column payload as little-endian int64 bytes (host-order aware)."""
+    if sys.byteorder == "little":
+        return col.tobytes()
+    swapped = array("q", col)
+    swapped.byteswap()
+    return swapped.tobytes()
+
+
 class CompiledProgram:
     """The flat-array form of one program across all processors.
 
-    ``ops[pid]`` / ``args[pid]`` are parallel ``array('q')`` columns: entry
-    ``i`` is the ``i``-th operation of processor ``pid``.  Opcodes are the
+    ``ops[pid]`` / ``args[pid]`` are parallel int64 columns: entry ``i``
+    is the ``i``-th operation of processor ``pid``.  Opcodes are the
     :mod:`repro.sim.program` constants; READ/WRITE args are **line
     numbers** (already divided by ``line_size``), all other args are
-    verbatim.
+    verbatim.  Columns are ``array('q')`` for compiled/decoded programs
+    and ``memoryview`` slices over a copy-on-write file mapping for
+    programs loaded via :meth:`from_file` (``mapped`` is then true); both
+    spellings expose identical indexing, length, and buffer protocols, so
+    every replay path (python per-point, fused batch, native C) works on
+    either.
 
-    Instances are immutable by convention (the engine only reads them), so
-    one compiled program can be replayed concurrently by any number of
-    engines and shared through :class:`TraceCache`.
+    Instances are immutable by convention (the engine only reads them, and
+    the native kernel takes ``const`` views), so one compiled program can
+    be replayed concurrently by any number of engines and shared through
+    :class:`TraceCache`.
     """
 
     __slots__ = ("ops", "args", "n_processors", "line_size", "source_ops",
-                 "fused_work", "_runtime", "_batch")
+                 "fused_work", "mapped", "_mm", "_runtime", "_batch")
 
-    def __init__(self, ops: list[array], args: list[array], line_size: int,
-                 source_ops: int, fused_work: bool) -> None:
+    def __init__(self, ops: list, args: list, line_size: int,
+                 source_ops: int, fused_work: bool, *,
+                 mapped: bool = False, mapping=None) -> None:
         if len(ops) != len(args):
             raise ValueError("ops/args column counts differ")
         for o, a in zip(ops, args):
@@ -106,24 +217,37 @@ class CompiledProgram:
         #: operation count before WORK fusion (what a generator would yield)
         self.source_ops = source_ops
         self.fused_work = fused_work
-        self._runtime: tuple[list[list[int]], list[list[int]]] | None = None
+        #: columns are memoryview slices over a file mapping (zero-copy)
+        self.mapped = mapped
+        #: the mmap object keeping mapped columns alive (``None`` otherwise)
+        self._mm = mapping
+        self._runtime = None
         #: batched-replay decode cache (:mod:`repro.sim.batch.columns`):
         #: packed per-processor columns plus the static per-processor
         #: counter totals, shared by every point of a batch group
         self._batch = None
 
-    def runtime_columns(self) -> tuple[list[list[int]], list[list[int]]]:
-        """Plain-list views of ``(ops, args)`` for the replay loop.
+    def runtime_columns(self):
+        """Indexable ``(ops, args)`` views for the per-point replay loop.
 
         ``array('q')`` is the compact storage/wire format, but indexing it
         boxes a fresh int per access; replay indexes every operand once per
         replay, so the engine uses list columns where each int is boxed
         once.  Built lazily on first replay and cached — the arrays remain
         the canonical (serialized, hashed) representation.
+
+        For **mapped** programs the views are :class:`_ChunkedColumn`
+        windows instead of full lists: same indexing contract, bounded
+        boxed-int footprint regardless of trace size.
         """
         rt = self._runtime
         if rt is None:
-            rt = ([list(o) for o in self.ops], [list(a) for a in self.args])
+            if self.mapped:
+                rt = ([_ChunkedColumn(o) for o in self.ops],
+                      [_ChunkedColumn(a) for a in self.args])
+            else:
+                rt = ([list(o) for o in self.ops],
+                      [list(a) for a in self.args])
             self._runtime = rt
         return rt
 
@@ -135,65 +259,134 @@ class CompiledProgram:
 
     @property
     def nbytes(self) -> int:
-        """In-memory payload size of the flat arrays."""
+        """Payload size of the flat columns (mapped or materialised)."""
         return sum(o.itemsize * len(o) + a.itemsize * len(a)
                    for o, a in zip(self.ops, self.args))
 
+    @property
+    def resident_nbytes(self) -> int:
+        """What this program charges against the in-memory LRU budget.
+
+        Materialised columns live on the heap and cost their full payload;
+        mapped columns live in the shared, evictable page cache and cost a
+        token constant.
+        """
+        return _MAPPED_RESIDENT_BYTES if self.mapped else self.nbytes
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "mapped" if self.mapped else "materialised"
         return (f"CompiledProgram({self.n_processors} processors, "
-                f"{self.total_ops:,} ops, line_size={self.line_size})")
+                f"{self.total_ops:,} ops, line_size={self.line_size}, "
+                f"{kind})")
 
     # -------------------------------------------------------- serialization
-    def to_bytes(self) -> bytes:
-        """Compact binary encoding (zlib-compressed, CRC-protected)."""
-        payload = b"".join(col.tobytes()
-                           for pair in zip(self.ops, self.args)
-                           for col in pair)
-        header = json.dumps({
+    def _header(self, crc: int, payload_offset: int | None = None) -> bytes:
+        fields = {
             "n_processors": self.n_processors,
             "line_size": self.line_size,
             "source_ops": self.source_ops,
             "fused_work": self.fused_work,
             "counts": [len(o) for o in self.ops],
-            "itemsize": self.ops[0].itemsize if self.ops else 8,
-            "byteorder": sys.byteorder,
-            "crc32": zlib.crc32(payload),
-        }, sort_keys=True).encode("utf-8")
-        return (_MAGIC + len(header).to_bytes(4, "little") + header
-                + zlib.compress(payload, 1))
+            "itemsize": _ITEMSIZE,
+            "byteorder": "little" if payload_offset is not None
+            else sys.byteorder,
+            "crc32": crc,
+        }
+        if payload_offset is not None:
+            fields["payload_offset"] = payload_offset
+        return json.dumps(fields, sort_keys=True).encode("utf-8")
+
+    def to_bytes(self, *, version: int = 2) -> bytes:
+        """Binary encoding; ``version=2`` (default) is the mmappable form.
+
+        * **v2** — magic, uint32-LE header length, JSON header, zero pad
+          to an 8-byte boundary, then the raw little-endian int64 columns
+          (per processor: ops then args).  Uncompressed and aligned so
+          :meth:`from_file` can map it and hand slices to the native
+          kernel without a copy.
+        * **v1** — the legacy zlib-compressed encoding, kept for the
+          migration round-trip suite.
+        """
+        if version == 1:
+            # legacy writer: native byte order, zlib-compressed
+            payload = b"".join(col.tobytes()
+                               for pair in zip(self.ops, self.args)
+                               for col in pair)
+            header = self._header(zlib.crc32(payload))
+            return (_MAGIC_V1 + len(header).to_bytes(4, "little") + header
+                    + zlib.compress(payload, 1))
+        if version != 2:
+            raise ValueError(f"unknown trace format version {version}")
+        payload = b"".join(_le_bytes(col)
+                           for pair in zip(self.ops, self.args)
+                           for col in pair)
+        crc = zlib.crc32(payload)
+        # the header records its own payload offset; offset depends on
+        # header length, so fix-point the (rarely iterating) computation
+        offset = 0
+        for _ in range(4):
+            header = self._header(crc, payload_offset=offset)
+            want = _align8(12 + len(header))
+            if want == offset:
+                break
+            offset = want
+        pad = b"\0" * (offset - 12 - len(header))
+        return (_MAGIC + len(header).to_bytes(4, "little") + header + pad
+                + payload)
+
+    @classmethod
+    def _decode_header(cls, blob, lo: int = 0):
+        """Parse ``(header, payload_start)`` from either format's framing."""
+        hlen = int.from_bytes(bytes(blob[lo + 8:lo + 12]), "little")
+        if hlen <= 0 or lo + 12 + hlen > len(blob):
+            raise TraceDecodeError("truncated header")
+        header = json.loads(bytes(blob[lo + 12:lo + 12 + hlen])
+                            .decode("utf-8"))
+        if header["itemsize"] != _ITEMSIZE:
+            raise TraceDecodeError(
+                f"item size {header['itemsize']} != native")
+        return header, lo + 12 + hlen
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "CompiledProgram":
-        """Inverse of :meth:`to_bytes`.
+        """Inverse of :meth:`to_bytes` — eager decode of either format.
 
         Raises :class:`TraceDecodeError` on any corruption: bad magic,
         truncation, malformed header, CRC mismatch, or an encoding written
         by an incompatible platform (item size / byte order).
         """
         try:
-            if blob[:8] != _MAGIC:
+            magic = bytes(blob[:8])
+            if magic == _MAGIC_V1:
+                header, pos = cls._decode_header(blob)
+                if header["byteorder"] != sys.byteorder:
+                    raise TraceDecodeError("foreign byte order")
+                payload = zlib.decompress(blob[pos:])
+                swap = False
+            elif magic == _MAGIC:
+                header, pos = cls._decode_header(blob)
+                offset = header["payload_offset"]
+                if offset < pos:
+                    raise TraceDecodeError("payload overlaps header")
+                payload = bytes(blob[offset:])
+                swap = sys.byteorder != "little"
+            else:
                 raise TraceDecodeError("bad magic")
-            hlen = int.from_bytes(blob[8:12], "little")
-            header = json.loads(blob[12:12 + hlen].decode("utf-8"))
-            payload = zlib.decompress(blob[12 + hlen:])
             counts = header["counts"]
-            itemsize = header["itemsize"]
-            if itemsize != array("q").itemsize:
-                raise TraceDecodeError(f"item size {itemsize} != native")
-            if header["byteorder"] != sys.byteorder:
-                raise TraceDecodeError("foreign byte order")
             if zlib.crc32(payload) != header["crc32"]:
                 raise TraceDecodeError("payload CRC mismatch")
-            if len(payload) != 2 * itemsize * sum(counts):
+            if len(payload) != 2 * _ITEMSIZE * sum(counts):
                 raise TraceDecodeError("payload length mismatch")
             ops: list[array] = []
             args: list[array] = []
             offset = 0
             for count in counts:
-                nb = count * itemsize
+                nb = count * _ITEMSIZE
                 for out in (ops, args):
                     col = array("q")
                     col.frombytes(payload[offset:offset + nb])
+                    if swap:
+                        col.byteswap()
                     out.append(col)
                     offset += nb
             return cls(ops, args, header["line_size"],
@@ -201,6 +394,64 @@ class CompiledProgram:
         except TraceDecodeError:
             raise
         except Exception as exc:  # truncated/garbled in any other way
+            raise TraceDecodeError(f"undecodable trace: {exc!r}") from exc
+
+    @classmethod
+    def from_file(cls, path, *, mmap_ok: bool = True) -> "CompiledProgram":
+        """Load a stored trace, memory-mapping v2 blobs when possible.
+
+        The mapping is ``ACCESS_COPY`` (private copy-on-write): writable
+        from Python's side — which ``ctypes.from_buffer`` requires for the
+        zero-copy native hand-off — while the file itself is never
+        modified and clean pages remain shared page-cache memory.  Map
+        validation is **structural only** (magic, header, section bounds
+        against the file size): a truncated blob fails here and degrades
+        to a cache miss, while reading every payload byte to CRC it would
+        defeat lazy paging — v2 relies on the store's atomic writes, like
+        every other consumer.  Legacy v1 blobs, big-endian hosts, and
+        ``mmap_ok=False`` fall back to an eager :meth:`from_bytes` decode.
+
+        Raises ``OSError`` if the file cannot be opened (a plain store
+        miss) and :class:`TraceDecodeError` for anything wrong past that.
+        """
+        with open(path, "rb") as fh:
+            magic = fh.read(8)
+            if magic != _MAGIC or not mmap_ok or sys.byteorder != "little":
+                try:
+                    return cls.from_bytes(magic + fh.read())
+                except TraceDecodeError:
+                    raise
+                except Exception as exc:
+                    raise TraceDecodeError(
+                        f"unreadable trace file: {exc!r}") from exc
+            try:
+                mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_COPY)
+            except (OSError, ValueError) as exc:  # empty or unmappable
+                raise TraceDecodeError(f"unmappable trace: {exc!r}") from exc
+        try:
+            header, pos = cls._decode_header(mm)
+            counts = header["counts"]
+            if header["byteorder"] != "little":
+                raise TraceDecodeError("foreign byte order")
+            offset = header["payload_offset"]
+            need = offset + 2 * _ITEMSIZE * sum(counts)
+            if offset < pos or offset % _ITEMSIZE or need != len(mm):
+                raise TraceDecodeError("payload length mismatch")
+            if hasattr(mm, "madvise"):  # replay touches columns in order
+                mm.madvise(mmap.MADV_SEQUENTIAL)
+            view = memoryview(mm)
+            ops: list[memoryview] = []
+            args: list[memoryview] = []
+            for count in counts:
+                nb = count * _ITEMSIZE
+                for out in (ops, args):
+                    out.append(view[offset:offset + nb].cast("q"))
+                    offset += nb
+            return cls(ops, args, header["line_size"], header["source_ops"],
+                       header["fused_work"], mapped=True, mapping=mm)
+        except TraceDecodeError:
+            raise
+        except Exception as exc:
             raise TraceDecodeError(f"undecodable trace: {exc!r}") from exc
 
 
@@ -376,19 +627,37 @@ def trace_key(app: str, app_kwargs: Mapping[str, Any], config: Any,
 # -------------------------------------------------------- process-wide LRU
 
 _memory_lru: OrderedDict[str, CompiledProgram] = OrderedDict()
+_memory_lru_bytes = 0
 
 
-def _lru_capacity() -> int:
+def _byte_budget() -> int:
     try:
-        return max(1, int(os.environ.get(ENV_TRACE_LRU,
-                                         _DEFAULT_LRU_ENTRIES)))
+        return max(1, int(os.environ.get(ENV_TRACE_LRU_BYTES,
+                                         _DEFAULT_LRU_BYTES)))
     except ValueError:
-        return _DEFAULT_LRU_ENTRIES
+        return _DEFAULT_LRU_BYTES
+
+
+def _entry_capacity() -> int | None:
+    """Deprecated entry-count cap; ``None`` when unset (the default)."""
+    raw = os.environ.get(ENV_TRACE_LRU)
+    if raw is None:
+        return None
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return None
+
+
+def _mmap_enabled() -> bool:
+    return os.environ.get(ENV_TRACE_MMAP, "1") != "0"
 
 
 def clear_memory_cache() -> None:
     """Drop every in-memory trace (tests and cold benchmarks use this)."""
+    global _memory_lru_bytes
     _memory_lru.clear()
+    _memory_lru_bytes = 0
 
 
 def memory_cache_len() -> int:
@@ -396,16 +665,38 @@ def memory_cache_len() -> int:
     return len(_memory_lru)
 
 
+def memory_cache_bytes() -> int:
+    """Resident bytes charged against the LRU budget (mapped ≈ 0)."""
+    return _memory_lru_bytes
+
+
+def trace_cache_info() -> dict[str, Any]:
+    """Process-wide trace-LRU accounting (daemon ``/stats``, diagnostics)."""
+    return {
+        "entries": len(_memory_lru),
+        "mapped_entries": sum(1 for p in _memory_lru.values() if p.mapped),
+        "resident_bytes": _memory_lru_bytes,
+        "payload_bytes": sum(p.nbytes for p in _memory_lru.values()),
+        "budget_bytes": _byte_budget(),
+        "entry_capacity": _entry_capacity(),
+    }
+
+
 class TraceCache:
     """Two-tier cache of compiled programs.
 
     Tier 1 is a **process-wide** LRU of live :class:`CompiledProgram`
-    objects (capacity :data:`ENV_TRACE_LRU`, default 32 entries) — shared by
-    every ``TraceCache`` instance in the process, so a study, its executor,
-    and a process-pool worker all see each other's compilations.  Tier 2 is
+    objects — shared by every ``TraceCache`` instance in the process, so a
+    study, its executor, and a process-pool worker all see each other's
+    compilations.  It is bounded by a **byte budget**
+    (:data:`ENV_TRACE_LRU_BYTES`, default 256 MiB of
+    :attr:`~CompiledProgram.resident_nbytes`; the deprecated
+    :data:`ENV_TRACE_LRU` entry cap still applies when set).  Tier 2 is
     an optional :class:`~repro.core.resultcache.TraceStore` on disk, which
     is what lets separate ``--jobs`` worker processes and separate CLI
-    invocations reuse traces.
+    invocations reuse traces.  Disk loads of current-format blobs are
+    **memory-mapped** (zero-copy, ~0 resident cost; disable with
+    ``REPRO_TRACE_MMAP=0``); legacy blobs decode eagerly.
 
     Instances are cheap and picklable (the LRU is module state, the store
     carries only a path), so executors ship them to pool workers as-is.
@@ -416,6 +707,42 @@ class TraceCache:
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
+
+    def _load_disk(self, key: str, warn: bool) -> CompiledProgram | None:
+        """Map or decode the store's blob for ``key`` (``None`` on miss).
+
+        Maintains the store's hit/miss counters exactly like
+        ``store.get_bytes``: unreadable file ⇒ store miss; readable but
+        undecodable ⇒ store hit that this cache degrades to a miss.
+        """
+        store = self.store
+        if not _mmap_enabled():
+            blob = store.get_bytes(key)
+            if blob is None:
+                return None
+            try:
+                return CompiledProgram.from_bytes(blob)
+            except TraceDecodeError as exc:
+                if warn:
+                    self._warn_corrupt(key, exc)
+                return None
+        try:
+            program = CompiledProgram.from_file(store.path_for(key))
+        except OSError:
+            store.misses += 1
+            return None
+        except TraceDecodeError as exc:
+            store.hits += 1
+            if warn:
+                self._warn_corrupt(key, exc)
+            return None
+        store.hits += 1
+        return program
+
+    @staticmethod
+    def _warn_corrupt(key: str, exc: Exception) -> None:
+        warnings.warn(f"discarding corrupt compiled trace {key[:12]}… "
+                      f"({exc}); regenerating", stacklevel=4)
 
     def get(self, key: str) -> CompiledProgram | None:
         """The cached program for ``key``, or ``None`` (counted as a miss).
@@ -429,18 +756,11 @@ class TraceCache:
             self.memory_hits += 1
             return program
         if self.store is not None:
-            blob = self.store.get_bytes(key)
-            if blob is not None:
-                try:
-                    program = CompiledProgram.from_bytes(blob)
-                except TraceDecodeError as exc:
-                    warnings.warn(
-                        f"discarding corrupt compiled trace {key[:12]}… "
-                        f"({exc}); regenerating", stacklevel=2)
-                else:
-                    self._remember(key, program)
-                    self.disk_hits += 1
-                    return program
+            program = self._load_disk(key, warn=True)
+            if program is not None:
+                self._remember(key, program)
+                self.disk_hits += 1
+                return program
         self.misses += 1
         return None
 
@@ -449,12 +769,14 @@ class TraceCache:
 
         Fork-server warmup: the sweep parent calls this for every disk-
         resident trace *before* the worker pool forks, so workers inherit
-        the decoded programs copy-on-write instead of each re-reading and
-        re-decompressing the :class:`~repro.core.resultcache.TraceStore`.
-        Unlike :meth:`get` it never touches the hit/miss counters (warmup
-        is not demand traffic) and a corrupt disk entry is silently left
-        for the demand path to report.  Returns the resident program, or
-        ``None`` when the trace is neither in memory nor on disk.
+        the programs copy-on-write instead of each re-reading the
+        :class:`~repro.core.resultcache.TraceStore` per point (mapped
+        programs share their column pages outright — parent and every
+        worker map the same page-cache pages).  Unlike :meth:`get` it
+        never touches this cache's hit/miss counters (warmup is not
+        demand traffic) and a corrupt disk entry is silently left for the
+        demand path to report.  Returns the resident program, or ``None``
+        when the trace is neither in memory nor on disk.
         """
         program = _memory_lru.get(key)
         if program is not None:
@@ -462,12 +784,8 @@ class TraceCache:
             return program
         if self.store is None:
             return None
-        blob = self.store.get_bytes(key)
-        if blob is None:
-            return None
-        try:
-            program = CompiledProgram.from_bytes(blob)
-        except TraceDecodeError:
+        program = self._load_disk(key, warn=False)
+        if program is None:
             return None
         self._remember(key, program)
         return program
@@ -480,11 +798,19 @@ class TraceCache:
 
     @staticmethod
     def _remember(key: str, program: CompiledProgram) -> None:
+        global _memory_lru_bytes
+        old = _memory_lru.pop(key, None)
+        if old is not None:
+            _memory_lru_bytes -= old.resident_nbytes
         _memory_lru[key] = program
-        _memory_lru.move_to_end(key)
-        capacity = _lru_capacity()
-        while len(_memory_lru) > capacity:
-            _memory_lru.popitem(last=False)
+        _memory_lru_bytes += program.resident_nbytes
+        budget = _byte_budget()
+        capacity = _entry_capacity()
+        while len(_memory_lru) > 1 and (
+                _memory_lru_bytes > budget
+                or (capacity is not None and len(_memory_lru) > capacity)):
+            _, evicted = _memory_lru.popitem(last=False)
+            _memory_lru_bytes -= evicted.resident_nbytes
 
     # ------------------------------------------------------------- plumbing
     @property
