@@ -17,8 +17,9 @@ from ..core.study import CacheKey, SweepPoint, cache_label, normalize_sweep
 
 __all__ = ["Bar", "BarGroup", "FigureData", "contention_slowdown",
            "figure_from_cluster_sweep", "figure_from_capacity_sweep",
-           "figure_from_contention_sweep", "render_rows", "render_ascii",
-           "render_scaling", "render_shape_comparison", "render_slowdown"]
+           "figure_from_contention_sweep", "figure_from_protocol_sweep",
+           "render_rows", "render_ascii", "render_scaling",
+           "render_shape_comparison", "render_slowdown"]
 
 _COMPONENTS = ("cpu", "load", "merge", "sync")
 
@@ -130,6 +131,39 @@ def figure_from_contention_sweep(title: str,
         for (ld, c) in sorted(sweep, key=lambda kc: kc[1]):
             if ld == load:
                 group.bars.append(_bar_from_norm(f"{c}p", norms[(ld, c)]))
+        fig.groups.append(group)
+    return fig
+
+
+def figure_from_protocol_sweep(title: str,
+                               sweep: Mapping[tuple[str, int], SweepPoint],
+                               baseline_protocol: str = "directory",
+                               baseline_cluster: int = 1) -> FigureData:
+    """Cross-protocol comparison: one group per protocol, bars per cluster.
+
+    Unlike the per-group normalization of the paper figures, every bar
+    here is a percentage of **one** global baseline — the
+    ``baseline_protocol`` run at ``baseline_cluster`` processors per
+    cluster (directory at 1p unless overridden) — so bar heights are
+    comparable *across* protocol groups: reading along a cluster size
+    shows what the protocol costs, reading along a group shows what
+    clustering buys under that protocol.
+    """
+    protocols = list(dict.fromkeys(p for p, _ in sweep))
+    base_key = (baseline_protocol, baseline_cluster)
+    if base_key not in sweep:
+        base_key = (protocols[0], baseline_cluster)
+    if base_key not in sweep:
+        raise ValueError(
+            f"no baseline point {base_key!r} in the protocol sweep")
+    base = sweep[base_key].result.execution_time
+    fig = FigureData(title=title)
+    for proto in protocols:
+        group = BarGroup(label=proto)
+        for (p, c) in sorted(sweep, key=lambda kc: kc[1]):
+            if p == proto:
+                norm = sweep[(p, c)].result.breakdown.normalized_to(base)
+                group.bars.append(_bar_from_norm(f"{c}p", norm))
         fig.groups.append(group)
     return fig
 

@@ -6,14 +6,18 @@ layout, so EXPERIMENTS.md can juxtapose paper and measured values directly.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from ..core.config import PAPER_CLUSTER_SIZES, LatencyModel
 from ..core.contention import (ClusteredCostResult, ExpansionTable,
                                conflict_table)
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.study import SweepPoint
+
 __all__ = ["render_table1", "render_table4", "render_table5",
-           "render_cost_table", "render_comparison"]
+           "render_cost_table", "render_comparison",
+           "render_protocol_comparison"]
 
 
 def render_table1(latency: LatencyModel | None = None) -> str:
@@ -75,6 +79,41 @@ def render_cost_table(results: Iterable[ClusteredCostResult],
     for r in results:
         lines.append(f"{r.app:>12} " + " ".join(
             f"{r.relative_time[c]:8.2f}" for c in cluster_sizes))
+    return "\n".join(lines)
+
+
+def render_protocol_comparison(
+        sweep: "Mapping[tuple[str, int], SweepPoint]",
+        title: str = "Cross-protocol comparison",
+        baseline_protocol: str = "directory") -> str:
+    """The protocol × cluster-size sweep as an aligned comparison table.
+
+    One row per (protocol, cluster size): absolute execution time, the
+    ratio against ``baseline_protocol`` at the *same* cluster size (what
+    the protocol costs), and the ratio against the protocol's own
+    smallest-cluster point (what clustering buys under it).
+    """
+    protocols = list(dict.fromkeys(p for p, _ in sweep))
+    clusters = sorted({c for _, c in sweep})
+    own_base = {p: next((sweep[(p, c)].execution_time for c in clusters
+                         if (p, c) in sweep), None)
+                for p in protocols}
+    header = (f"{'protocol':>10} {'cluster':>8} {'exec time':>12} "
+              f"{'vs ' + baseline_protocol:>14} {'vs own 1st':>11}")
+    lines = [title, "=" * len(title), header, "-" * len(header)]
+    for p in protocols:
+        for c in clusters:
+            point = sweep.get((p, c))
+            if point is None:
+                continue
+            t = point.execution_time
+            ref = sweep.get((baseline_protocol, c))
+            vs_ref = (f"{t / ref.execution_time:14.3f}"
+                      if ref is not None and ref.execution_time else
+                      " " * 13 + "-")
+            base = own_base[p]
+            vs_own = f"{t / base:11.3f}" if base else " " * 10 + "-"
+            lines.append(f"{p:>10} {f'{c}p':>8} {t:>12} {vs_ref} {vs_own}")
     return "\n".join(lines)
 
 

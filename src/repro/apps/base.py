@@ -39,9 +39,9 @@ import numpy as np
 
 from ..core.config import MachineConfig
 from ..core.metrics import RunResult
+from ..memory import make_memory_system
 from ..memory.address import AddressSpace, Region
 from ..memory.allocation import PageAllocator
-from ..memory.coherence import CoherentMemorySystem
 from ..sim.engine import execute_program
 from ..sim.program import Op
 
@@ -173,7 +173,7 @@ class Application(ABC):
         from ..sim.compiled import ProgramRecorder
 
         self.ensure_setup()
-        memory = CoherentMemorySystem(self.config, self.allocator)
+        memory = make_memory_system(self.config, self.allocator)
         recorder = ProgramRecorder(self.program, self.config.n_processors,
                                    self.config.line_size,
                                    fuse_work=fuse_work)
@@ -195,7 +195,7 @@ class Application(ABC):
         streams do not.
         """
         self.ensure_setup()
-        memory = CoherentMemorySystem(self.config, self.allocator)
+        memory = make_memory_system(self.config, self.allocator)
         return execute_program(self.config, memory,
                                program if program is not None
                                else self.program,

@@ -45,15 +45,17 @@ from typing import Any
 
 from .analysis import (contention_slowdown, figure_from_capacity_sweep,
                        figure_from_cluster_sweep,
-                       figure_from_contention_sweep, merge_anatomy,
+                       figure_from_contention_sweep,
+                       figure_from_protocol_sweep, merge_anatomy,
                        miss_breakdown, render_ascii, render_cost_table,
-                       render_miss_breakdown, render_rows, render_scaling,
+                       render_miss_breakdown, render_protocol_comparison,
+                       render_rows, render_scaling,
                        render_shape_comparison, render_slowdown,
                        render_table1, render_table4, render_table5)
 from .apps.registry import (APP_NAMES, PAPER_PROBLEM_SIZES,
                             QUICK_PROBLEM_SIZES)
 from .core.config import (PAPER_CACHE_SIZES_KB, PAPER_CLUSTER_SIZES,
-                          PAPER_NETWORK_LOADS, MachineConfig)
+                          PAPER_NETWORK_LOADS, PROTOCOLS, MachineConfig)
 from .core.contention import (PAPER_TABLE5, ExpansionTable,
                               LoadLatencyProfiler, SharedCacheCostModel)
 from .core.executor import (SweepExecutionError, SweepExecutor,
@@ -84,7 +86,8 @@ def _app_kwargs(name: str, args: argparse.Namespace) -> dict[str, Any]:
 
 
 def _base_config(args: argparse.Namespace) -> MachineConfig:
-    return MachineConfig(n_processors=args.processors)
+    return MachineConfig(n_processors=args.processors,
+                         protocol=getattr(args, "protocol", "directory"))
 
 
 def _native_selection(args: argparse.Namespace) -> bool | None:
@@ -98,9 +101,20 @@ def _native_selection(args: argparse.Namespace) -> bool | None:
 
     import repro.native as native
 
+    from .sim.nativereplay import NATIVE_PROTOCOLS
+
     if args.native and args.no_native:
         print("repro-clustering: --native and --no-native are mutually "
               "exclusive", file=sys.stderr)
+        raise SystemExit(2)
+    protocol = getattr(args, "protocol", "directory")
+    if args.native and protocol not in NATIVE_PROTOCOLS:
+        # a forced kernel selection must refuse an unimplemented
+        # protocol up front, not silently run the python path
+        print(f"repro-clustering: --native: the C kernel implements "
+              f"{', '.join(sorted(NATIVE_PROTOCOLS))} only, not "
+              f"'{protocol}'; drop --native (auto selection degrades "
+              f"to the python engine)", file=sys.stderr)
         raise SystemExit(2)
     if args.native:
         prev = os.environ.get("REPRO_NATIVE")
@@ -380,7 +394,7 @@ def cmd_workingset(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     """Shared-cache vs snoopy shared-memory cluster, same budget."""
-    from .memory.snoopy import SnoopyClusterMemorySystem
+    from .memory import make_memory_system
 
     session = RunSession(base_config=_base_config(args))
     request = RunRequest.make(args.app, args.clusters, args.cache,
@@ -393,8 +407,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
     outcome = session.run_detailed(
         request,
-        memory_factory=lambda cfg, app: SnoopyClusterMemorySystem(
-            cfg, app.allocator))
+        memory_factory=lambda cfg, app: make_memory_system(
+            cfg.with_protocol("snoopy"), app.allocator))
     snoopy = outcome.result
     print("\n# snoopy shared-memory cluster (same budget)")
     print(summarize(snoopy).format())
@@ -566,6 +580,83 @@ def cmd_merge(args: argparse.Namespace) -> int:
         print(f"{c:>2}p  load {row['load']:>12,.0f}  merge "
               f"{row['merge']:>12,.0f}  load+merge "
               f"{row['load_plus_merge']:>12,.0f}")
+    return 0
+
+
+def _protocol_list(value: str) -> list[str]:
+    """Comma-separated protocol names, validated against PROTOCOLS."""
+    names = [v for v in value.split(",") if v]
+    if not names:
+        raise argparse.ArgumentTypeError("expected at least one protocol")
+    for name in names:
+        if name not in PROTOCOLS:
+            raise argparse.ArgumentTypeError(
+                f"unknown protocol {name!r}; choose from "
+                f"{', '.join(PROTOCOLS)}")
+    return names
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    """Cross-protocol study: protocol × cluster-size grid, one app."""
+    protocols = list(args.protocols or PROTOCOLS)
+    # the global --protocol names the protocol of interest; make sure the
+    # grid includes it (and the directory baseline the figure normalizes
+    # to) whatever --protocols narrowed the field to
+    focus = getattr(args, "protocol", "directory")
+    if focus not in protocols:
+        protocols.append(focus)
+    if "directory" not in protocols:
+        protocols.insert(0, "directory")
+
+    t0 = time.time()
+    if args.server:
+        host, _, port = args.server.rpartition(":")
+        try:
+            port = int(port)
+        except ValueError:
+            print(f"repro-clustering: --server expects HOST:PORT, got "
+                  f"{args.server!r}", file=sys.stderr)
+            return 2
+        from .core.study import SweepPoint
+        from .service import ServiceClient, ServiceError
+
+        requests = [(p, c, RunRequest.make(args.app, c, args.cache,
+                                           _app_kwargs(args.app, args),
+                                           protocol=p))
+                    for p in protocols for c in args.cluster_sizes]
+        client = ServiceClient(host or "127.0.0.1", port)
+        try:
+            reports = client.run_sweep([r for _, _, r in requests])
+        except (ServiceError, OSError) as exc:
+            print(f"repro-clustering: study --server: {exc}",
+                  file=sys.stderr)
+            return 1
+        finally:
+            client.close()
+        sweep = {(p, c): SweepPoint(args.app, c, args.cache, rep.result)
+                 for (p, c, _), rep in zip(requests, reports)}
+        served = (f"daemon {args.server}: {len(reports)} points, "
+                  f"{sum(r.cached for r in reports)} cached, "
+                  f"{sum(r.coalesced for r in reports)} coalesced")
+    else:
+        study = _study(args.app, args)
+        sweep = study.protocol_sweep(protocols, args.cluster_sizes,
+                                     args.cache)
+        served = None
+
+    fig = figure_from_protocol_sweep(
+        f"Cross-protocol comparison: {args.app}, cache "
+        f"{cache_label(args.cache)} (bars % of directory @ 1p)", sweep)
+    print(render_rows(fig))
+    if args.ascii:
+        print()
+        print(render_ascii(fig))
+    print()
+    print(render_protocol_comparison(
+        sweep, f"{args.app}: protocol × cluster size"))
+    if served:
+        print(f"[{served}]", file=sys.stderr)
+    print(f"[{time.time() - t0:.1f}s]")
     return 0
 
 
@@ -805,6 +896,12 @@ def _add_global_options(p: argparse.ArgumentParser, *,
     p.add_argument("--cluster-sizes", type=_int_list,
                    default=dflt(list(PAPER_CLUSTER_SIZES)), metavar="N,N,...",
                    help="comma-separated cluster sizes (default 1,2,4,8)")
+    p.add_argument("--protocol", choices=PROTOCOLS,
+                   default=dflt("directory"),
+                   help="coherence protocol backend (default directory — "
+                   "the paper's full-bit-vector directory; 'snoopy' and "
+                   "'dls' run on the python engine, so forcing --native "
+                   "with them exits 2)")
     p.add_argument("--cache-sizes", type=_cache_list,
                    default=dflt(list(PAPER_CACHE_SIZES_KB)), metavar="KB,...",
                    help="comma-separated per-processor cache sizes in KB "
@@ -924,6 +1021,23 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--cache", type=_cache_arg, default=None,
                     help="per-processor cache KB or 'inf' (default inf)")
     sp.set_defaults(func=cmd_merge)
+
+    sp = add_command("study",
+                     help="cross-protocol study: protocol × cluster-size "
+                     "grid with a comparison figure and table")
+    sp.add_argument("app", nargs="?", default="ocean", choices=APP_NAMES)
+    sp.add_argument("--protocols", type=_protocol_list, default=None,
+                    metavar="P,P,...",
+                    help="protocols to sweep (default: all of "
+                    f"{','.join(PROTOCOLS)}; the global --protocol and "
+                    "the directory baseline are always included)")
+    sp.add_argument("--cache", type=_cache_arg, default=None,
+                    help="per-processor cache KB or 'inf' (default inf)")
+    sp.add_argument("--server", metavar="HOST:PORT",
+                    help="evaluate the grid through a running sweep "
+                    "daemon ('repro-clustering serve') instead of "
+                    "in-process")
+    sp.set_defaults(func=cmd_study)
 
     sp = add_command("compare",
                         help="shared-cache vs snoopy shared-memory cluster")

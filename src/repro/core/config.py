@@ -24,7 +24,7 @@ from typing import Mapping
 __all__ = ["DEFAULT_LINE_SIZE", "DEFAULT_PAGE_SIZE", "LatencyModel",
            "MachineConfig", "NetworkConfig", "NETWORK_PROVIDERS",
            "NETWORK_TOPOLOGIES", "PAPER_CLUSTER_SIZES",
-           "PAPER_CACHE_SIZES_KB", "PAPER_NETWORK_LOADS"]
+           "PAPER_CACHE_SIZES_KB", "PAPER_NETWORK_LOADS", "PROTOCOLS"]
 
 #: Cache line size used throughout the paper's experiments (bytes).
 DEFAULT_LINE_SIZE = 64
@@ -128,6 +128,20 @@ class LatencyModel:
                                     for pair in self.hit_by_cluster_size],
         }
 
+
+#: recognised coherence protocols.  The names are validated here (the
+#: config layer must stay import-free of :mod:`repro.memory`); the
+#: factories that realise them live in the ``repro.memory`` protocol
+#: registry, which is required to cover exactly this tuple.
+#:
+#: * ``"directory"`` — the paper's full-bit-vector directory over shared
+#:   cluster caches (§3.1; the default, bit-identical to history);
+#: * ``"snoopy"`` — per-processor caches on an intra-cluster snoopy bus
+#:   (paper §2's second cluster type, extension E-X2);
+#: * ``"dls"`` — directoryless shared last-level cache: the home LLC
+#:   slice is the coherence point, no sharer bit-masks (Liu et al.,
+#:   arXiv 1206.4753).
+PROTOCOLS = ("directory", "snoopy", "dls")
 
 #: recognised interconnect latency providers
 NETWORK_PROVIDERS = ("table", "mesh")
@@ -256,6 +270,12 @@ class MachineConfig:
         Interconnect model selection (:class:`NetworkConfig`).  The default
         flat-table provider reproduces the paper exactly; the mesh provider
         makes miss latency hop- and load-dependent.
+    protocol:
+        Coherence-protocol backend, one of :data:`PROTOCOLS`.  The default
+        ``"directory"`` is the paper's protocol and reproduces the
+        historical results bit for bit; the name selects a memory-system
+        factory from the ``repro.memory`` protocol registry everywhere a
+        run constructs its memory system.
     """
 
     n_processors: int = 64
@@ -266,8 +286,12 @@ class MachineConfig:
     page_size: int = DEFAULT_PAGE_SIZE
     latency: LatencyModel = field(default_factory=LatencyModel)
     network: NetworkConfig = field(default_factory=NetworkConfig)
+    protocol: str = "directory"
 
     def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown coherence protocol {self.protocol!r}; "
+                             f"choose from {PROTOCOLS}")
         if self.n_processors <= 0:
             raise ValueError("n_processors must be positive")
         if self.cluster_size <= 0:
@@ -348,6 +372,10 @@ class MachineConfig:
         """Copy of this config with a different interconnect model."""
         return replace(self, network=network)
 
+    def with_protocol(self, protocol: str) -> "MachineConfig":
+        """Copy of this config with a different coherence protocol."""
+        return replace(self, protocol=protocol)
+
     def trace_signature(self) -> dict:
         """The machine fields the *reference stream* depends on.
 
@@ -383,6 +411,7 @@ class MachineConfig:
             "page_size": self.page_size,
             "latency": self.latency.to_dict(),
             "network": self.network.to_dict(),
+            "protocol": self.protocol,
         }
 
     def describe(self) -> str:
@@ -390,6 +419,7 @@ class MachineConfig:
         cache = ("inf" if self.cache_kb_per_processor is None
                  else f"{self.cache_kb_per_processor:g}KB/proc")
         assoc = "full" if self.associativity is None else f"{self.associativity}-way"
+        proto = "" if self.protocol == "directory" else f", {self.protocol}"
         return (f"{self.n_processors}p, {self.cluster_size}/cluster "
                 f"({self.n_clusters} clusters), cache {cache} ({assoc}), "
-                f"{self.line_size}B lines")
+                f"{self.line_size}B lines{proto}")

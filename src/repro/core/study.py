@@ -32,7 +32,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Mapping
 
 from .config import (PAPER_CACHE_SIZES_KB, PAPER_CLUSTER_SIZES,
-                     PAPER_NETWORK_LOADS, MachineConfig)
+                     PAPER_NETWORK_LOADS, PROTOCOLS, MachineConfig)
 from .executor import PointSpec, SweepExecutor, raise_failures
 from .metrics import RunResult
 
@@ -157,6 +157,34 @@ class ClusteringStudy:
                 spec = PointSpec.make(self.app, c, cache_kb,
                                       self.app_kwargs, network=net)
                 grid.append(((float(load), c), spec))
+        results = self._run_grid(grid)
+        return {key: SweepPoint(self.app, key[1], cache_kb, r)
+                for (key, _), r in zip(grid, results)}
+
+    def protocol_sweep(self, protocols: Iterable[str] = PROTOCOLS,
+                       cluster_sizes: Iterable[int] = PAPER_CLUSTER_SIZES,
+                       cache_kb: CacheKey = None,
+                       ) -> dict[tuple[str, int], SweepPoint]:
+        """The coherence-protocol × cluster-size grid.
+
+        Every point overrides the base config's ``protocol`` through the
+        registry seam (:func:`repro.memory.make_memory_system`), so the
+        same compiled trace drives a full-bit-vector directory machine,
+        a snoopy-bus cluster machine, and a directoryless shared-LLC
+        machine over identical workloads.  Points under non-directory
+        protocols run on the canonical python engine (the native kernel
+        implements the directory protocol only) — correctness is
+        unaffected, only speed.
+
+        Returns ``{(protocol, cluster_size): point}``;
+        :func:`repro.analysis.figures.figure_from_protocol_sweep`
+        renders the cross-protocol comparison and
+        :func:`repro.analysis.tables.render_protocol_comparison` the
+        companion table.
+        """
+        grid = [((p, c), PointSpec.make(self.app, c, cache_kb,
+                                        self.app_kwargs, protocol=p))
+                for p in protocols for c in cluster_sizes]
         results = self._run_grid(grid)
         return {key: SweepPoint(self.app, key[1], cache_kb, r)
                 for (key, _), r in zip(grid, results)}

@@ -1,0 +1,383 @@
+"""Directoryless shared-LLC coherence (protocol ``"dls"``).
+
+A DLS-style organisation (Liu et al., arXiv 1206.4753): the machine keeps
+one last-level-cache *slice* per cluster, and a line may be cached **only
+in the slice of its home cluster**.  That single location is the
+coherence point — there are no sharer bit-masks, no directory, and no
+invalidations, because no line ever has two cached copies:
+
+* an access whose home is the local cluster probes the local slice —
+  hits cost the ordinary cache hit time, misses fill from the local
+  memory (Table 1 ``local_clean``);
+* an access whose home is remote is a network transaction to the home
+  slice every time (Table 1 ``remote_clean``); if the home slice misses
+  too, the home's memory fill (``local_clean``) is added and the line is
+  installed in the home slice on the way through;
+* writes never stall (store buffer + relaxed consistency, as in the
+  directory protocol); a write marks the home-slice line dirty
+  (EXCLUSIVE), remote writes are write-through to the home slice, and
+  dirty evictions count as :attr:`DLSMemorySystem.writebacks`;
+* destructive interference and classic coherence misses are gone — the
+  protocol trades them for mandatory remote traffic: a cluster's first
+  touch of a remote-homed line classifies COLD, every later one
+  COHERENCE (steady-state communication), and home-slice evictions
+  classify CAPACITY exactly like the shared-cache protocol.
+
+The class exposes the same hot interface as
+:class:`~repro.memory.coherence.CoherentMemorySystem` (``read`` /
+``write`` / ``cluster_of`` / ``counters`` / ``aggregate_counters`` /
+``network_stats`` / ``check_invariants``), so the engine, the stats
+assembler, and the study driver accept it interchangeably; runs select
+it through the protocol registry (``MachineConfig.protocol = "dls"``).
+Like the other backends it runs on the slab cache columns via kernel
+tuples — no per-line objects on the hot path — and interns the flat
+Table-1 transition tuples.  The object-per-line oracle it is pinned
+against lives in :class:`repro.memory.refmodel.RefDLSMemorySystem`.
+"""
+
+from __future__ import annotations
+
+from ..core.config import MachineConfig
+from ..core.metrics import MissCause, MissCounters, NetworkStats
+from ..network.latency import TableLatency, make_latency_provider
+from .allocation import PageAllocator
+from .cache import EXCLUSIVE, SHARED, FullyAssociativeCache, make_cache
+from .coherence import READ_HIT, READ_MERGE, READ_MISS
+
+__all__ = ["DLSMemorySystem"]
+
+_COLD = MissCause.COLD
+_CAPACITY = MissCause.CAPACITY
+_COHERENCE = MissCause.COHERENCE
+
+#: preallocated hit result (see coherence._HIT)
+_HIT = (READ_HIT, 0)
+
+
+class DLSMemorySystem:
+    """Directoryless shared last-level cache: one slice per cluster.
+
+    Parameters
+    ----------
+    config:
+        Machine organisation.  ``cache_kb_per_processor`` sizes each
+        cluster's LLC slice exactly as it sizes the shared cluster cache
+        of the directory protocol (per-processor share × cluster size).
+    allocator:
+        Page-home policy; the home cluster of a line decides the one
+        slice that may cache it.
+    """
+
+    def __init__(self, config: MachineConfig,
+                 allocator: PageAllocator | None = None) -> None:
+        self.config = config
+        self.allocator = allocator if allocator is not None else PageAllocator(
+            config.n_clusters, config.page_size, config.line_size)
+        if self.allocator.n_clusters != config.n_clusters:
+            raise ValueError(
+                f"allocator built for {self.allocator.n_clusters} clusters, "
+                f"machine has {config.n_clusters}")
+        self.latency = make_latency_provider(config)
+        capacity = config.cluster_cache_lines
+        self.caches = [make_cache(capacity, config.associativity)
+                       for _ in range(config.n_clusters)]
+        self.counters = [MissCounters() for _ in range(config.n_clusters)]
+        #: dirty home-slice evictions (the protocol's only write-back
+        #: traffic; there is no directory to count them)
+        self.writebacks = 0
+        # Per-cluster classification history.  For lines homed at the
+        # cluster it records CAPACITY on slice eviction; for remote-homed
+        # lines it records COHERENCE after the cluster's first touch.
+        # The two line sets are disjoint per cluster, so one dict serves.
+        self._history: list[dict[int, MissCause]] = [
+            dict() for _ in range(config.n_clusters)]
+        self._cluster_shift = config.cluster_shift
+        # --- hot-path precomputation (mirrors coherence.py) -----------
+        self._flat = isinstance(self.latency, TableLatency)
+        model = config.latency
+        self._local_clean = model.local_clean
+        self._remote_clean = model.remote_clean
+        self._t_local = (READ_MISS, model.local_clean)
+        self._t_remote = (READ_MISS, model.remote_clean)
+        self._t_remote_fill = (READ_MISS,
+                               model.remote_clean + model.local_clean)
+        self._page_home = self.allocator._page_home
+        self._lines_per_page = self.allocator._lines_per_page
+        self._kernels = (
+            [(c.slot_of, c.state, c.pending, c.fetcher, c.free)
+             for c in self.caches]
+            if all(type(c) is FullyAssociativeCache for c in self.caches)
+            else None)
+        self._capacity_lines = capacity
+
+    # ------------------------------------------------------------------ hot
+    def cluster_of(self, processor: int) -> int:
+        """Cluster id for a processor (shift when cluster size is a power of 2)."""
+        if self._cluster_shift is not None:
+            return processor >> self._cluster_shift
+        return processor // self.config.cluster_size
+
+    def read(self, processor: int, line: int, now: int,
+             is_retry: bool = False) -> tuple[int, int]:
+        """Process a read by ``processor`` to ``line`` at time ``now``.
+
+        Local-home reads behave like the shared-cache protocol's hit /
+        merge / miss triple against the local slice.  Remote-home reads
+        are always a miss-priced transaction to the home slice; they
+        never merge — a request arriving while the home fill is in
+        flight queues behind it (the wait is folded into the returned
+        stall), so the engine's retry machinery is local-only.
+        """
+        shift = self._cluster_shift
+        cluster = (processor >> shift if shift is not None
+                   else processor // self.config.cluster_size)
+        ctr = self.counters[cluster]
+        if not is_retry:
+            ctr.reads += 1
+        page_home = self._page_home.get(line // self._lines_per_page)
+        home = (page_home if page_home is not None
+                else self.allocator.home_of_line(line))
+        kernels = self._kernels
+        history = self._history[cluster]
+
+        if home == cluster:
+            # ---- local slice: hit / merge / local fill
+            if kernels is not None:
+                kern = kernels[cluster]
+                slot_of = kern[0]
+                slot = slot_of.get(line, -1)
+                if slot >= 0:
+                    if self._capacity_lines is not None:
+                        del slot_of[line]
+                        slot_of[line] = slot
+                    pending_until = kern[2][slot]
+                    if pending_until > now:
+                        ctr.merges += 1
+                        return READ_MERGE, pending_until - now
+                    fetcher = kern[3][slot]
+                    if fetcher != -1 and fetcher != processor:
+                        ctr.prefetch_hits += 1
+                        kern[3][slot] = -1
+                    return _HIT
+            else:
+                kern = None
+                cache = self.caches[cluster]
+                slot = cache.lookup(line)
+                if slot >= 0:
+                    pending_until = cache.pending[slot]
+                    if pending_until > now:
+                        ctr.merges += 1
+                        return READ_MERGE, pending_until - now
+                    fetcher = cache.fetcher[slot]
+                    if fetcher != -1 and fetcher != processor:
+                        ctr.prefetch_hits += 1
+                        cache.fetcher[slot] = -1
+                    return _HIT
+            if is_retry:
+                # pending line was evicted before the merged reader
+                # retried; it pays a fresh (capacity) miss
+                ctr.merge_refetches += 1
+            cause = history.get(line, _COLD)
+            if self._flat:
+                result = self._t_local
+                latency = self._local_clean
+            else:
+                latency = self.latency.miss_cycles(cluster, home, None, now)
+                result = (READ_MISS, latency)
+            self._install(cluster, line, SHARED, now + latency, processor)
+            ctr.read_misses += 1
+            ctr.by_cause[cause] += 1
+            return result
+
+        # ---- remote home: network transaction to the home slice
+        cause = history.get(line, _COLD)
+        history[line] = _COHERENCE
+        if kernels is not None:
+            hkern = kernels[home]
+            hslot_of = hkern[0]
+            hslot = hslot_of.get(line, -1)
+        else:
+            hslot = self.caches[home].lookup(line)
+        if hslot >= 0:
+            # home slice serves the line (touch its LRU position)
+            if kernels is not None and self._capacity_lines is not None:
+                del hslot_of[line]
+                hslot_of[line] = hslot
+            pending_until = (hkern[2][hslot] if kernels is not None
+                             else self.caches[home].pending[hslot])
+            queue = pending_until - now
+            if self._flat:
+                if queue > 0:
+                    result = (READ_MISS, self._remote_clean + queue)
+                else:
+                    result = self._t_remote
+            else:
+                latency = self.latency.miss_cycles(cluster, home, None, now)
+                result = (READ_MISS, latency + max(queue, 0))
+        else:
+            # home slice misses too: memory fill at home, then forward;
+            # the line installs in the home slice on the way through
+            if self._flat:
+                fill = self._local_clean
+                result = self._t_remote_fill
+            else:
+                fill = self.latency.miss_cycles(home, home, None, now)
+                result = (READ_MISS,
+                          self.latency.miss_cycles(cluster, home, None, now)
+                          + fill)
+            self._install(home, line, SHARED, now + fill, processor)
+        ctr.read_misses += 1
+        ctr.by_cause[cause] += 1
+        return result
+
+    def write(self, processor: int, line: int, now: int) -> None:
+        """Process a write by ``processor`` to ``line`` at time ``now``.
+
+        Writes never stall.  A local-home write dirties (or
+        write-allocates) the local slice line; a remote-home write is a
+        write-through transaction to the home slice, counted as a write
+        miss because it leaves the cluster.  With a single cached copy
+        there is nothing to invalidate, so there are no upgrade misses.
+        """
+        shift = self._cluster_shift
+        cluster = (processor >> shift if shift is not None
+                   else processor // self.config.cluster_size)
+        ctr = self.counters[cluster]
+        ctr.writes += 1
+        page_home = self._page_home.get(line // self._lines_per_page)
+        home = (page_home if page_home is not None
+                else self.allocator.home_of_line(line))
+        kernels = self._kernels
+        history = self._history[cluster]
+
+        if home == cluster:
+            if kernels is not None:
+                kern = kernels[cluster]
+                slot_of = kern[0]
+                slot = slot_of.get(line, -1)
+                if slot >= 0:
+                    if self._capacity_lines is not None:
+                        del slot_of[line]
+                        slot_of[line] = slot
+                    kern[1][slot] = EXCLUSIVE
+                    return
+            else:
+                cache = self.caches[cluster]
+                slot = cache.lookup(line)
+                if slot >= 0:
+                    cache.state[slot] = EXCLUSIVE
+                    return
+            cause = history.get(line, _COLD)
+            latency = (self._local_clean if self._flat
+                       else self.latency.miss_cycles(cluster, home, None, now))
+            self._install(cluster, line, EXCLUSIVE, now + latency, processor)
+            ctr.write_misses += 1
+            ctr.by_cause[cause] += 1
+            return
+
+        # ---- remote home: write-through to the home slice
+        cause = history.get(line, _COLD)
+        history[line] = _COHERENCE
+        ctr.write_misses += 1
+        ctr.by_cause[cause] += 1
+        if kernels is not None:
+            hkern = kernels[home]
+            hslot_of = hkern[0]
+            hslot = hslot_of.get(line, -1)
+            if hslot >= 0:
+                if self._capacity_lines is not None:
+                    del hslot_of[line]
+                    hslot_of[line] = hslot
+                hkern[1][hslot] = EXCLUSIVE
+                return
+        else:
+            cache = self.caches[home]
+            hslot = cache.lookup(line)
+            if hslot >= 0:
+                cache.state[hslot] = EXCLUSIVE
+                return
+        # write-allocate at the home slice (memory fill at home)
+        fill = (self._local_clean if self._flat
+                else self.latency.miss_cycles(home, home, None, now))
+        self._install(home, line, EXCLUSIVE, now + fill, processor)
+
+    # ------------------------------------------------------------- internals
+    def _install(self, cluster: int, line: int, state: int,
+                 pending_until: int, fetcher: int) -> None:
+        """Install ``line`` in ``cluster``'s slice, retiring any victim.
+
+        Slices only ever hold lines homed at their cluster, so victim
+        bookkeeping is purely local: the eviction writes CAPACITY into
+        this cluster's history and a dirty victim counts a write-back.
+        """
+        kernels = self._kernels
+        if kernels is not None:
+            kern = kernels[cluster]
+            slot_of = kern[0]
+            state_col = kern[1]
+            cache = self.caches[cluster]
+            cap = self._capacity_lines
+            if cap is not None and len(slot_of) >= cap:
+                vline = next(iter(slot_of))
+                slot = slot_of.pop(vline)
+                vstate = state_col[slot]
+                cache.evictions += 1
+                self._history[cluster][vline] = _CAPACITY
+                if vstate == EXCLUSIVE:
+                    self.writebacks += 1
+            else:
+                free = kern[4]
+                slot = free.pop() if free else cache._grow()
+            state_col[slot] = state
+            kern[2][slot] = pending_until
+            kern[3][slot] = fetcher
+            cache.tag[slot] = line
+            slot_of[line] = slot
+            cache.inserts += 1
+        else:
+            victim = self.caches[cluster].insert(line, state, pending_until,
+                                                 fetcher)
+            if victim is not None:
+                self._history[cluster][victim.line] = _CAPACITY
+                if victim.state == EXCLUSIVE:
+                    self.writebacks += 1
+
+    # ---------------------------------------------------------------- query
+    def aggregate_counters(self) -> MissCounters:
+        """Miss counters summed over all clusters."""
+        total = MissCounters()
+        for ctr in self.counters:
+            ctr.merged_into(total)
+        return total
+
+    def network_stats(self) -> NetworkStats | None:
+        """Interconnect counters (``None`` under the flat-table provider)."""
+        return self.latency.stats()
+
+    def check_invariants(self) -> None:
+        """Cross-check slice contents; raises on inconsistency.
+
+        * every resident line lives in the slice of its home cluster
+          (the protocol's defining invariant — a violation means two
+          copies could exist);
+        * no slice exceeds its capacity, and slab slot accounting
+          balances (every slot mapped by one line or on the free list).
+        """
+        for cluster, cache in enumerate(self.caches):
+            for line in cache.resident_lines():
+                home = self.allocator.home_of_line(line)
+                if home != cluster:
+                    raise AssertionError(
+                        f"line {line:#x} homed at {home} is cached in "
+                        f"slice {cluster}")
+            if (cache.capacity_lines is not None
+                    and len(cache) > cache.capacity_lines):
+                raise AssertionError(
+                    f"slice {cluster} over capacity: {len(cache)} > "
+                    f"{cache.capacity_lines}")
+            if type(cache) is FullyAssociativeCache:
+                if len(cache.slot_of) + len(cache.free) != len(cache.state):
+                    raise AssertionError(
+                        f"slice {cluster} slot leak: {len(cache.slot_of)} "
+                        f"mapped + {len(cache.free)} free != "
+                        f"{len(cache.state)} slots")

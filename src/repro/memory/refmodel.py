@@ -25,7 +25,8 @@ from .cache import EXCLUSIVE, SHARED
 from .directory import DIR_EXCLUSIVE, DIR_SHARED, NOT_CACHED
 
 __all__ = ["LineEntry", "RefEviction", "RefFullyAssociativeCache",
-           "RefSetAssociativeCache", "DirEntry", "RefDirectory"]
+           "RefSetAssociativeCache", "DirEntry", "RefDirectory",
+           "RefDLSMemorySystem"]
 
 
 class LineEntry:
@@ -335,3 +336,117 @@ class RefDirectory:
     def live_lines(self) -> list[int]:
         """Lines with at least one sharer bit — what pruning would keep."""
         return [line for line, e in self._entries.items() if e.sharers]
+
+
+class RefDLSMemorySystem:
+    """Object-per-line oracle for the ``"dls"`` protocol backend.
+
+    The reference twin of :class:`repro.memory.dls.DLSMemorySystem`: one
+    :class:`RefFullyAssociativeCache` slice per cluster (home lines
+    only), per-cluster miss counters kept as plain dicts, and the same
+    observable contract — ``read`` / ``write`` outcomes and stalls,
+    classification, prefetch-hit consumption, write-back counts, and
+    victim choice.  The hypothesis suite drives both implementations
+    with identical random access streams and requires them to agree
+    step for step (``tests/test_memcore_properties.py``).
+    """
+
+    #: mirror of MissCause values, import-free (COLD/COHERENCE/CAPACITY)
+    _CAUSES = ("cold", "coherence", "capacity")
+
+    def __init__(self, config, allocator) -> None:
+        self.config = config
+        self.allocator = allocator
+        self.local_clean = config.latency.local_clean
+        self.remote_clean = config.latency.remote_clean
+        self.slices = [RefFullyAssociativeCache(config.cluster_cache_lines)
+                       for _ in range(config.n_clusters)]
+        self.counters = [dict(reads=0, writes=0, read_misses=0,
+                              write_misses=0, merges=0, merge_refetches=0,
+                              prefetch_hits=0, cold=0, coherence=0,
+                              capacity=0)
+                         for _ in range(config.n_clusters)]
+        self.writebacks = 0
+        self._history: list[dict[int, str]] = [
+            dict() for _ in range(config.n_clusters)]
+
+    def cluster_of(self, processor: int) -> int:
+        return processor // self.config.cluster_size
+
+    def _install(self, cluster: int, line: int, state: int,
+                 pending_until: int, fetcher: int) -> None:
+        victim = self.slices[cluster].insert(line, state, pending_until,
+                                             fetcher)
+        if victim is not None:
+            self._history[cluster][victim.line] = "capacity"
+            if victim.state == EXCLUSIVE:
+                self.writebacks += 1
+
+    def read(self, processor: int, line: int, now: int,
+             is_retry: bool = False) -> tuple[int, int]:
+        """Same outcome tags as the production system (READ_* ints 0/1/2)."""
+        cluster = self.cluster_of(processor)
+        ctr = self.counters[cluster]
+        if not is_retry:
+            ctr["reads"] += 1
+        home = self.allocator.home_of_line(line)
+        history = self._history[cluster]
+        if home == cluster:
+            entry = self.slices[cluster].lookup(line)
+            if entry is not None:
+                if entry.is_pending(now):
+                    ctr["merges"] += 1
+                    return 1, entry.pending_until - now  # READ_MERGE
+                if entry.fetcher != -1 and entry.fetcher != processor:
+                    ctr["prefetch_hits"] += 1
+                    entry.fetcher = -1
+                return 0, 0  # READ_HIT
+            if is_retry:
+                ctr["merge_refetches"] += 1
+            cause = history.get(line, "cold")
+            latency = self.local_clean
+            self._install(cluster, line, SHARED, now + latency, processor)
+            ctr["read_misses"] += 1
+            ctr[cause] += 1
+            return 2, latency  # READ_MISS
+        cause = history.get(line, "cold")
+        history[line] = "coherence"
+        entry = self.slices[home].lookup(line)
+        if entry is not None:
+            queue = max(entry.pending_until - now, 0)
+            latency = self.remote_clean + queue
+        else:
+            latency = self.remote_clean + self.local_clean
+            self._install(home, line, SHARED, now + self.local_clean,
+                          processor)
+        ctr["read_misses"] += 1
+        ctr[cause] += 1
+        return 2, latency  # READ_MISS
+
+    def write(self, processor: int, line: int, now: int) -> None:
+        cluster = self.cluster_of(processor)
+        ctr = self.counters[cluster]
+        ctr["writes"] += 1
+        home = self.allocator.home_of_line(line)
+        history = self._history[cluster]
+        if home == cluster:
+            entry = self.slices[cluster].lookup(line)
+            if entry is not None:
+                entry.state = EXCLUSIVE
+                return
+            cause = history.get(line, "cold")
+            self._install(cluster, line, EXCLUSIVE,
+                          now + self.local_clean, processor)
+            ctr["write_misses"] += 1
+            ctr[cause] += 1
+            return
+        cause = history.get(line, "cold")
+        history[line] = "coherence"
+        ctr["write_misses"] += 1
+        ctr[cause] += 1
+        entry = self.slices[home].lookup(line)
+        if entry is not None:
+            entry.state = EXCLUSIVE
+            return
+        self._install(home, line, EXCLUSIVE, now + self.local_clean,
+                      processor)

@@ -38,6 +38,10 @@ class RunRequest:
     ``network`` optionally overrides the base config's interconnect model
     for this point — the contention sweep varies it per point the way
     cluster and cache size always varied.  ``None`` inherits the base.
+
+    ``protocol`` optionally overrides the base config's coherence
+    protocol for this point — the protocol sweep varies it per point.
+    ``None`` inherits the base (normally ``"directory"``).
     """
 
     app: str
@@ -45,13 +49,16 @@ class RunRequest:
     cache_kb: float | int | None
     app_kwargs: tuple[tuple[str, Any], ...] = ()
     network: NetworkConfig | None = None
+    protocol: str | None = None
 
     @classmethod
     def make(cls, app: str, cluster_size: int, cache_kb: float | int | None,
              app_kwargs: Mapping[str, Any] | None = None,
-             network: NetworkConfig | None = None) -> "RunRequest":
+             network: NetworkConfig | None = None,
+             protocol: str | None = None) -> "RunRequest":
         return cls(app, int(cluster_size), cache_kb,
-                   tuple(sorted((app_kwargs or {}).items())), network)
+                   tuple(sorted((app_kwargs or {}).items())), network,
+                   protocol)
 
     @property
     def kwargs(self) -> dict[str, Any]:
@@ -64,6 +71,8 @@ class RunRequest:
             None if self.cache_kb is None else float(self.cache_kb))
         if self.network is not None:
             config = config.with_network(self.network)
+        if self.protocol is not None:
+            config = config.with_protocol(self.protocol)
         return config
 
     def describe(self) -> str:
@@ -74,8 +83,9 @@ class RunRequest:
         if self.network is not None:
             net = (f", {self.network.provider} net "
                    f"@ load {self.network.background_load:g}")
+        proto = "" if self.protocol is None else f", {self.protocol}"
         return (f"{self.app} @ {self.cluster_size}/cluster, cache {cache}"
-                f"{net} ({kw})")
+                f"{net}{proto} ({kw})")
 
     def resolve(self, base_config: MachineConfig | None = None,
                 use_compiled: bool = True) -> "RunPlan":

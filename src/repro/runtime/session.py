@@ -190,8 +190,8 @@ class RunSession:
         """Run with explicit memory wiring; returns the memory system.
 
         ``memory_factory(config, app)`` builds the memory system the run
-        uses (default: the application's standard
-        :class:`~repro.memory.coherence.CoherentMemorySystem`), so probes
+        uses (default: whatever backend ``config.protocol`` selects via
+        :func:`~repro.memory.make_memory_system`), so probes
         can substitute tracing wrappers, snoopy protocols, or a perfect
         memory with a fixed ``read_hit_cycles``.  The trace cache is never
         consulted or written — a capture under a non-standard memory
@@ -214,7 +214,7 @@ class RunSession:
         if obs is not None:
             obs.on_phase("build", clock.lap(), {"app": request.app})
 
-        from ..memory.coherence import CoherentMemorySystem
+        from ..memory import make_memory_system
         from ..sim.engine import execute_program
 
         # memory construction belongs to the execute phase: benchmark
@@ -223,7 +223,7 @@ class RunSession:
         if memory_factory is not None:
             memory = memory_factory(plan.config, app)
         else:
-            memory = CoherentMemorySystem(plan.config, app.allocator)
+            memory = make_memory_system(plan.config, app.allocator)
         result = execute_program(plan.config, memory,
                                  program if program is not None
                                  else app.program,

@@ -3,10 +3,13 @@
 One :class:`~repro.runtime.plan.RunRequest` is one JSON object::
 
     {"app": "ocean", "cluster_size": 4, "cache_kb": 16,
-     "app_kwargs": {"n": 64}, "network": {...NetworkConfig...}}
+     "app_kwargs": {"n": 64}, "network": {...NetworkConfig...},
+     "protocol": "dls"}
 
 ``cache_kb`` is ``null`` for infinite caches; ``network`` is ``null`` (or
-absent) to inherit the daemon's base interconnect model.  The codec is a
+absent) to inherit the daemon's base interconnect model; ``protocol`` is
+``null`` (or absent) to inherit the daemon's base coherence protocol,
+else one of :data:`repro.core.config.PROTOCOLS`.  The codec is a
 strict inverse pair — :func:`decode_run_request` rejects unknown fields
 and wrong types with a :class:`ProtocolError` whose message is safe to
 put in an HTTP 400 body — and round-trips every representable request
@@ -32,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Mapping
 
-from ..core.config import NetworkConfig
+from ..core.config import PROTOCOLS, NetworkConfig
 from ..core.metrics import RunResult
 from ..runtime.plan import RunRequest
 
@@ -48,7 +51,8 @@ PROTOCOL_VERSION = 1
 _SCALARS = (bool, int, float, str)
 
 _REQUEST_FIELDS = frozenset(
-    {"app", "cluster_size", "cache_kb", "app_kwargs", "network"})
+    {"app", "cluster_size", "cache_kb", "app_kwargs", "network",
+     "protocol"})
 
 
 class ProtocolError(ValueError):
@@ -66,6 +70,8 @@ def encode_run_request(request: RunRequest) -> dict[str, Any]:
     }
     if request.network is not None:
         out["network"] = request.network.to_dict()
+    if request.protocol is not None:
+        out["protocol"] = request.protocol
     return out
 
 
@@ -121,7 +127,16 @@ def decode_run_request(obj: Any) -> RunRequest:
         except ValueError as exc:
             raise ProtocolError(f"bad 'network' config: {exc}") from exc
 
-    return RunRequest.make(app, cluster, cache_kb, kwargs, network)
+    protocol = obj.get("protocol")
+    if protocol is not None:
+        if not isinstance(protocol, str):
+            raise ProtocolError("'protocol' must be a string or null")
+        if protocol not in PROTOCOLS:
+            raise ProtocolError(
+                f"unknown 'protocol' {protocol!r}; choose from "
+                f"{', '.join(PROTOCOLS)} (null = daemon default)")
+
+    return RunRequest.make(app, cluster, cache_kb, kwargs, network, protocol)
 
 
 # ---------------------------------------------------------------- envelopes

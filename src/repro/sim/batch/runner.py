@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Sequence
 import repro.native as native
 
 from ...core.config import MachineConfig
-from ...memory.coherence import CoherentMemorySystem
+from ...memory import make_memory_system
 from ...runtime.plan import RunRequest
 from ...runtime.session import RunSession
 from .engine import BatchedReplay
@@ -104,10 +104,11 @@ class BatchStats:
 def _make_replayer(stats: BatchStats | None):
     """A :class:`RunSession` ``replayer`` bound to the fused kernel.
 
-    Builds the application's standard memory system (the same
+    Builds the memory system the config's protocol selects (the same
     construction :meth:`Application.run` performs) and replays through
     :class:`BatchedReplay`, which decodes the program's columns once and
-    picks fused vs canonical per memory system.
+    picks fused vs canonical per memory system — non-directory protocols
+    land on the canonical replay and count as ``fallback_points``.
     """
     state: dict = {}
 
@@ -116,7 +117,7 @@ def _make_replayer(stats: BatchStats | None):
         if batch is None or batch.program is not program:
             batch = BatchedReplay(program)
             state["batch"] = batch
-        memory = CoherentMemorySystem(config, app.allocator)
+        memory = make_memory_system(config, app.allocator)
         before_native = batch.points_native
         before_fused = batch.points_fused
         result = batch.run(config, memory)

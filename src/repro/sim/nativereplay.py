@@ -33,8 +33,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..core.config import MachineConfig
     from .compiled import CompiledProgram
 
-__all__ = ["native_fusible", "native_kernel", "replay_native",
-           "try_replay_native"]
+__all__ = ["NATIVE_PROTOCOLS", "native_fusible", "native_kernel",
+           "replay_native", "try_replay_native"]
+
+#: coherence protocols the C kernel implements.  Anything else degrades
+#: silently to the canonical python path (the CLI's forced ``--native``
+#: additionally refuses the combination up front, exit 2).
+NATIVE_PROTOCOLS = frozenset({"directory"})
 
 _FRESH = MissCounters()
 
@@ -131,9 +136,14 @@ def try_replay_native(config: "MachineConfig", app,
     The single-run twin of the batch engine's dispatch: builds the same
     fresh memory system ``app.run(program=...)`` would, gates on
     :func:`native_fusible`, and leaves every ineligible case (python
-    selected, mesh latencies, mismatched program) to the canonical path
-    — including its exact validation errors.
+    selected, mesh latencies, non-directory protocol, mismatched
+    program) to the canonical path — including its exact validation
+    errors.
     """
+    if config.protocol not in NATIVE_PROTOCOLS:
+        # the C kernel implements the directory protocol only; other
+        # backends degrade silently to the canonical python replay
+        return None
     lib = native.kernel()
     if lib is None:
         return None

@@ -277,3 +277,87 @@ class TestBatchFlag:
         err = capsys.readouterr().err
         assert "--timeout" in err
         assert "Traceback" not in err
+
+
+class TestProtocolFlag:
+    def test_run_with_each_protocol(self, capsys):
+        times = {}
+        for proto in ("directory", "snoopy", "dls"):
+            assert run_cli(*BASE, "--protocol", proto, "run", "fft",
+                           "--clusters", "2") == 0
+            out = capsys.readouterr().out
+            times[proto] = out
+        # dls pays mandatory remote traffic, so its summary must differ
+        assert times["dls"] != times["directory"]
+
+    def test_default_protocol_output_is_unchanged(self, capsys):
+        # spelling out the default must be byte-identical to omitting it
+        assert run_cli(*BASE, "run", "fft", "--clusters", "2") == 0
+        implicit = capsys.readouterr().out
+        assert run_cli(*BASE, "--protocol", "directory", "run", "fft",
+                       "--clusters", "2") == 0
+        assert capsys.readouterr().out == implicit
+
+    def test_unknown_protocol_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            run_cli(*BASE, "--protocol", "mesiv2", "run", "fft")
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_forced_native_with_dls_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            run_cli(*BASE, "--native", "--protocol", "dls", "run", "fft")
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--native" in err and "dls" in err
+        assert "Traceback" not in err
+
+    def test_forced_native_with_snoopy_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            run_cli(*BASE, "--native", "--protocol", "snoopy",
+                    "--cluster-sizes", "1,2", "fig2", "--apps", "fft")
+        assert exc.value.code == 2
+        assert "--native" in capsys.readouterr().err
+
+
+class TestStudyCommand:
+    def test_study_prints_figure_and_table(self, capsys):
+        assert run_cli(*BASE, "--cluster-sizes", "1,2", "study", "fft") == 0
+        out = capsys.readouterr().out
+        assert "Cross-protocol comparison: fft" in out
+        for proto in ("directory", "snoopy", "dls"):
+            assert proto in out
+        assert "vs directory" in out
+
+    def test_study_subset_always_keeps_directory_baseline(self, capsys):
+        assert run_cli(*BASE, "--cluster-sizes", "1,2", "study", "fft",
+                       "--protocols", "dls") == 0
+        out = capsys.readouterr().out
+        assert "dls" in out and "directory" in out
+        assert "snoopy" not in out
+
+    def test_study_honours_global_protocol_focus(self, capsys):
+        assert run_cli(*BASE, "--protocol", "dls", "--cluster-sizes", "1,2",
+                       "study", "fft", "--protocols", "snoopy") == 0
+        out = capsys.readouterr().out
+        assert "dls" in out and "snoopy" in out and "directory" in out
+
+    def test_study_rejects_unknown_protocol_list(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            run_cli(*BASE, "study", "fft", "--protocols", "mesiv2")
+        assert exc.value.code == 2
+        assert "mesiv2" in capsys.readouterr().err
+
+    def test_study_served_matches_local(self, capsys, serve_daemon):
+        assert run_cli(*BASE, "--cluster-sizes", "1,2", "study", "fft",
+                       "--protocols", "directory,dls") == 0
+        local = capsys.readouterr().out
+        assert run_cli(*BASE, "--cluster-sizes", "1,2", "study", "fft",
+                       "--protocols", "directory,dls", "--server",
+                       f"127.0.0.1:{serve_daemon.port}") == 0
+        served = capsys.readouterr().out
+        assert served == local
+
+    def test_study_bad_server_spec_exits_2(self, capsys):
+        assert run_cli(*BASE, "study", "fft", "--server", "nowhere") == 2
+        assert "--server" in capsys.readouterr().err

@@ -18,7 +18,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.apps.registry import APP_NAMES
-from repro.core.config import NetworkConfig
+from repro.core.config import PROTOCOLS, NetworkConfig
 from repro.core.metrics import RunResult
 from repro.runtime import RunRequest
 from repro.service.protocol import (PointReport, ProtocolError,
@@ -54,7 +54,8 @@ requests = st.builds(
     app_kwargs=st.dictionaries(
         st.text(st.characters(categories=("Ll",)), min_size=1, max_size=8),
         kwargs_values, max_size=4),
-    network=networks)
+    network=networks,
+    protocol=st.one_of(st.none(), st.sampled_from(PROTOCOLS)))
 
 
 class TestCodecRoundTrip:
@@ -119,6 +120,8 @@ class TestStrictValidation:
         ({"app": "lu", "network": "mesh"}, "'network'"),
         ({"app": "lu", "network": {"provider": "warp"}}, "network"),
         ({"app": "lu", "network": {"providr": "mesh"}}, "network"),
+        ({"app": "lu", "protocol": "mesiv2"}, "'protocol'"),
+        ({"app": "lu", "protocol": 3}, "'protocol'"),
         ({"app": "lu", "frobnicate": 1}, "unknown request field"),
     ])
     def test_bad_requests_raise_protocol_errors(self, payload, needle):
